@@ -1,0 +1,63 @@
+/// ABL-DECODER — "the Turing machine will have generated and OPTIMIZED
+/// the instruction decoder": what the optimization (term sharing +
+/// adjacent-cube merging) buys, swept over chip sizes.
+
+#include "bench_util.hpp"
+
+using namespace bb;
+
+namespace {
+
+void printTable() {
+  std::printf("== ABL-DECODER: PLA cost with and without optimization ==\n");
+  std::printf("%-12s %10s %10s %10s %12s %12s %8s\n", "chip", "raw cubes", "terms-opt",
+              "terms-raw", "area-opt", "area-raw", "saving");
+  struct Row {
+    const char* name;
+    std::string src;
+  };
+  const Row rows[] = {
+      {"small8", core::samples::smallChip(8)},
+      {"large8", core::samples::largeChip(8, 4)},
+      {"large16", core::samples::largeChip(16, 8)},
+  };
+  const auto& g = core::plaGeometry();
+  for (const Row& r : rows) {
+    core::CompileOptions on;
+    auto optimized = bench::compile(r.src, on);
+    core::CompileOptions off;
+    off.pass2.optimizeDecoder = false;
+    auto raw = bench::compile(r.src, off);
+    const double aOpt = bench::lambda2(optimized->pla.areaEstimate(g.colW, g.rowH));
+    const double aRaw = bench::lambda2(raw->pla.areaEstimate(g.colW, g.rowH));
+    std::printf("%-12s %10zu %10zu %10zu %12.0f %12.0f %7.1f%%\n", r.name,
+                optimized->tapeStats.rawCubes, optimized->pla.termCount(),
+                raw->pla.termCount(), aOpt, aRaw, (1.0 - aOpt / aRaw) * 100.0);
+  }
+  std::printf("(functional equivalence of the optimized decoder is proven exhaustively\n");
+  std::printf("in test_compiler_smoke.DecoderMatchesDecodeFunctions)\n\n");
+}
+
+void BM_TwoTapeMachine(benchmark::State& state) {
+  auto chip = bench::compile(core::samples::largeChip(16, 8));
+  std::vector<core::TextArrayEntry> text;
+  for (const auto& cl : chip->controls) {
+    text.push_back({cl.name, cl.decode, cl.phase});
+  }
+  for (auto _ : state) {
+    core::TwoTapeMachine m(text, chip->desc.microcode);
+    icl::DiagnosticList d;
+    m.run(d);
+    benchmark::DoNotOptimize(m.pla().termCount());
+  }
+}
+BENCHMARK(BM_TwoTapeMachine);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,48 @@
+/// ABL-ROTO — the Roto-Router design decision: rotating the pad
+/// allocation around the perimeter "in an attempt to minimize the length
+/// of wire between pads and connection points". Compared against the
+/// naive clockwise allocation and a greedy nearest-slot heuristic, over
+/// growing pad counts.
+
+#include "baseline/naive_pads.hpp"
+#include "bench_util.hpp"
+
+using namespace bb;
+
+namespace {
+
+void printTable() {
+  std::printf("== ABL-ROTO: total pad wire length (lambda) by strategy ==\n");
+  std::printf("%6s %6s %12s %12s %12s %10s\n", "bits", "pads", "naive", "greedy",
+              "roto-router", "saving");
+  for (int width : {4, 8, 12, 16}) {
+    auto chip = bench::compile(core::samples::smallChip(width));
+    const baseline::PadStrategyReport rep = baseline::comparePadStrategies(*chip);
+    std::printf("%6d %6zu %12.0f %12.0f %12.0f %9.1f%%\n", width, chip->pads.size(),
+                bench::lambdaLen(rep.naive), bench::lambdaLen(rep.greedy),
+                bench::lambdaLen(rep.rotoRouter),
+                (1.0 - static_cast<double>(rep.rotoRouter) /
+                           static_cast<double>(rep.naive)) *
+                    100.0);
+  }
+  std::printf("(roto-router <= naive by construction; greedy can win or lose on\n");
+  std::printf("wire length but does not preserve bondable even spacing)\n\n");
+}
+
+void BM_RotoSearch(benchmark::State& state) {
+  auto chip = bench::compile(core::samples::smallChip(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    const auto rep = baseline::comparePadStrategies(*chip);
+    benchmark::DoNotOptimize(rep.rotoRouter);
+  }
+}
+BENCHMARK(BM_RotoSearch)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// ABL-STRETCH — the design decision behind stretchable cells: "To save
+/// the space and costly routing needed if cell widths vary, a design
+/// constraint states that all cells must be of equal width." This
+/// ablation compares the compiled (stretched, common-pitch) core with
+/// the variable-pitch + river-routed alternative.
+
+#include "baseline/handlayout.hpp"
+#include "bench_util.hpp"
+
+#include "icl/parser.hpp"
+
+using namespace bb;
+
+namespace {
+
+void printTable() {
+  std::printf("== ABL-STRETCH: common pitch (stretch) vs variable pitch + routing ==\n");
+  std::printf("%-12s %14s %14s %10s %10s\n", "chip", "stretched L^2", "routed L^2",
+              "channels", "delta");
+  struct Row {
+    const char* name;
+    std::string src;
+  };
+  const Row rows[] = {
+      {"small4", core::samples::smallChip(4)},
+      {"small8", core::samples::smallChip(8)},
+      {"small16", core::samples::smallChip(16)},
+      {"large16", core::samples::largeChip(16, 8)},
+  };
+  for (const Row& r : rows) {
+    auto chip = bench::compile(r.src);
+    icl::DiagnosticList diags;
+    auto desc = icl::parseChip(r.src, diags);
+    cell::CellLibrary lib;
+    const auto routed = baseline::buildRoutedCore(*desc, {}, lib, diags);
+    if (!routed.ok) {
+      std::printf("%-12s routed baseline failed: %s\n", r.name, routed.error.c_str());
+      continue;
+    }
+    const double a = bench::lambda2(chip->stats.coreArea);
+    const double b = bench::lambda2(routed.area);
+    std::printf("%-12s %14.0f %14.0f %10zu %+9.1f%%\n", r.name, a, b, routed.channels,
+                (a / b - 1.0) * 100.0);
+  }
+  std::printf("(negative delta: the stretched core is smaller — the paper's argument)\n\n");
+}
+
+void BM_StretchedCore(benchmark::State& state) {
+  const std::string src = core::samples::smallChip(8);
+  for (auto _ : state) {
+    auto chip = bench::compile(src);
+    benchmark::DoNotOptimize(chip->stats.coreArea);
+  }
+}
+BENCHMARK(BM_StretchedCore);
+
+void BM_RoutedCore(benchmark::State& state) {
+  icl::DiagnosticList diags;
+  auto desc = icl::parseChip(core::samples::smallChip(8), diags);
+  for (auto _ : state) {
+    cell::CellLibrary lib;
+    icl::DiagnosticList d;
+    auto routed = baseline::buildRoutedCore(*desc, {}, lib, d);
+    benchmark::DoNotOptimize(routed.area);
+  }
+}
+BENCHMARK(BM_RoutedCore);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

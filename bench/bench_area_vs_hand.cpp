@@ -1,0 +1,62 @@
+/// AREA — the paper's headline quality claim: "The chips produced by the
+/// system are fairly well optimized, having +/-10% of the area of a chip
+/// produced by hand using the structured design methodology."
+///
+/// Hand baseline (generous to the hand designer): every element at its
+/// own natural pitch with zero routing overhead. The compiled/hand ratio
+/// measures the pitch-matching overhead the compiler pays.
+
+#include "baseline/handlayout.hpp"
+#include "bench_util.hpp"
+
+using namespace bb;
+
+namespace {
+
+void printTable() {
+  std::printf("== AREA: compiled core vs hand layout (paper claim: within ~10%%) ==\n");
+  std::printf("%-12s %14s %14s %8s\n", "chip", "compiled L^2", "ideal-hand L^2", "ratio");
+  struct Row {
+    const char* name;
+    std::string src;
+  };
+  const Row rows[] = {
+      {"small4", core::samples::smallChip(4)},
+      {"small8", core::samples::smallChip(8)},
+      {"small16", core::samples::smallChip(16)},
+      {"large8", core::samples::largeChip(8, 4)},
+      {"large16", core::samples::largeChip(16, 8)},
+      {"segmented8", core::samples::segmentedChip(8)},
+  };
+  double worst = 0;
+  for (const Row& r : rows) {
+    auto chip = bench::compile(r.src);
+    const double compiled = bench::lambda2(chip->stats.coreArea);
+    const double hand = bench::lambda2(baseline::idealHandCoreArea(*chip));
+    const double ratio = compiled / hand;
+    worst = std::max(worst, ratio);
+    std::printf("%-12s %14.0f %14.0f %7.1f%%\n", r.name, compiled, hand,
+                (ratio - 1.0) * 100.0);
+  }
+  std::printf("worst overhead vs ideal hand: +%.1f%% (paper reports +/-10%% vs real hand\n",
+              (worst - 1.0) * 100.0);
+  std::printf("layout, which itself pays routing the ideal bound ignores)\n\n");
+}
+
+void BM_CompiledCoreArea(benchmark::State& state) {
+  const std::string src = core::samples::largeChip(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    auto chip = bench::compile(src);
+    benchmark::DoNotOptimize(chip->stats.coreArea);
+  }
+}
+BENCHMARK(BM_CompiledCoreArea)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// TIME — the paper's compile-time claim: "The compiler takes
+/// approximately 4 minutes to generate a small chip, in all five of the
+/// current representations. The time needed to generate a fairly large
+/// chip should be in the neighborhood of 10-15 minutes."
+///
+/// Absolute 1979 PDP-10 minutes are meaningless on modern hardware; the
+/// claim's *shape* is the large/small ratio (~2.5-4x) and near-linear
+/// scaling with chip size. This bench measures full compilation plus all
+/// representations.
+
+#include "bench_util.hpp"
+
+#include "reps/reps.hpp"
+
+#include <chrono>
+
+using namespace bb;
+
+namespace {
+
+double fullCompileSeconds(const std::string& src, int iters = 5) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto chip = bench::compile(src);
+    const reps::RepresentationSet rs = reps::generateAll(*chip);
+    benchmark::DoNotOptimize(rs.cif.size());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() / iters;
+}
+
+void printTable() {
+  std::printf("== TIME: full compile incl. all representations ==\n");
+  const double tSmall = fullCompileSeconds(core::samples::smallChip(4));
+  const double tLarge = fullCompileSeconds(core::samples::largeChip(16, 8));
+  std::printf("%-24s %12s\n", "chip", "seconds");
+  std::printf("%-24s %12.4f   (paper: ~4 min on a PDP-10)\n", "small (5 elem, 4-bit)",
+              tSmall);
+  std::printf("%-24s %12.4f   (paper: 10-15 min)\n", "large (9 elem, 16-bit)", tLarge);
+  std::printf("large/small ratio: %.2fx (paper's claim implies ~2.5-4x)\n", tLarge / tSmall);
+
+  std::printf("\nscaling in chip size (elements x width):\n");
+  std::printf("%8s %8s %12s\n", "bits", "regs", "seconds");
+  for (int width : {4, 8, 16}) {
+    for (int regs : {4, 8}) {
+      const double t = fullCompileSeconds(core::samples::largeChip(width, regs), 3);
+      std::printf("%8d %8d %12.4f\n", width, regs, t);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_FullCompileSmall(benchmark::State& state) {
+  const std::string src = core::samples::smallChip(4);
+  for (auto _ : state) {
+    auto chip = bench::compile(src);
+    const reps::RepresentationSet rs = reps::generateAll(*chip);
+    benchmark::DoNotOptimize(rs.cif.size());
+  }
+}
+BENCHMARK(BM_FullCompileSmall);
+
+void BM_FullCompileLarge(benchmark::State& state) {
+  const std::string src = core::samples::largeChip(16, 8);
+  for (auto _ : state) {
+    auto chip = bench::compile(src);
+    const reps::RepresentationSet rs = reps::generateAll(*chip);
+    benchmark::DoNotOptimize(rs.cif.size());
+  }
+}
+BENCHMARK(BM_FullCompileLarge);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+/// ABL-CONDASM — the paper's conditional assembly example: "when
+/// designing prototype chips, the internal state of a state machine may
+/// need to be routed to pads, but when production chips are produced,
+/// the area of the pad and wires may need to be reclaimed."
+
+#include "bench_util.hpp"
+
+using namespace bb;
+
+namespace {
+
+void printTable() {
+  std::printf("== ABL-CONDASM: PROTOTYPE flag reclaims pads and area ==\n");
+  core::CompileOptions protoOpts;
+  protoOpts.vars["PROTOTYPE"] = true;
+  auto proto = bench::compile(core::samples::prototypeChip(), protoOpts);
+  core::CompileOptions prodOpts;
+  prodOpts.vars["PROTOTYPE"] = false;
+  auto prod = bench::compile(core::samples::prototypeChip(), prodOpts);
+
+  std::printf("%-14s %8s %12s %14s %12s\n", "variant", "pads", "wire L", "die L^2",
+              "controls");
+  std::printf("%-14s %8zu %12.0f %14.0f %12zu\n", "PROTOTYPE", proto->stats.padCount,
+              bench::lambdaLen(proto->stats.padWireLength),
+              bench::lambda2(proto->stats.dieArea), proto->controls.size());
+  std::printf("%-14s %8zu %12.0f %14.0f %12zu\n", "production", prod->stats.padCount,
+              bench::lambdaLen(prod->stats.padWireLength),
+              bench::lambda2(prod->stats.dieArea), prod->controls.size());
+  std::printf("reclaimed: %zu pads, %.0f L^2 of die (%.1f%%)\n\n",
+              proto->stats.padCount - prod->stats.padCount,
+              bench::lambda2(proto->stats.dieArea - prod->stats.dieArea),
+              (1.0 - static_cast<double>(prod->stats.dieArea) /
+                         static_cast<double>(proto->stats.dieArea)) *
+                  100.0);
+}
+
+void BM_CompileProto(benchmark::State& state) {
+  core::CompileOptions opts;
+  opts.vars["PROTOTYPE"] = state.range(0) != 0;
+  const std::string src = core::samples::prototypeChip();
+  for (auto _ : state) {
+    auto chip = bench::compile(src, opts);
+    benchmark::DoNotOptimize(chip->stats.padCount);
+  }
+}
+BENCHMARK(BM_CompileProto)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

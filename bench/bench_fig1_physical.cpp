@@ -1,0 +1,59 @@
+/// FIG1 — Figure 1, "Physical Chip Format": a central core controlled by
+/// an instruction decoder, both surrounded by pads. This bench compiles a
+/// sweep of chips and reports the physical decomposition (core, decoder,
+/// pad ring), verifying the format holds at every size.
+
+#include "bench_util.hpp"
+
+using namespace bb;
+
+namespace {
+
+void printTable() {
+  std::printf("== FIG1: physical chip format (areas in lambda^2) ==\n");
+  std::printf("%-10s %6s %8s %12s %12s %12s %12s %6s\n", "chip", "bits", "elems",
+              "core", "decoder", "pad ring", "die", "pads");
+  struct Row {
+    const char* name;
+    std::string src;
+  };
+  const Row rows[] = {
+      {"small4", core::samples::smallChip(4)},
+      {"small8", core::samples::smallChip(8)},
+      {"small16", core::samples::smallChip(16)},
+      {"large8", core::samples::largeChip(8, 4)},
+      {"large16", core::samples::largeChip(16, 8)},
+  };
+  for (const Row& r : rows) {
+    auto chip = bench::compile(r.src);
+    std::printf("%-10s %6d %8zu %12.0f %12.0f %12.0f %12.0f %6zu\n", r.name,
+                chip->desc.dataWidth, chip->placed.size(),
+                bench::lambda2(chip->stats.coreArea), bench::lambda2(chip->stats.decoderArea),
+                bench::lambda2(chip->stats.padRingArea), bench::lambda2(chip->stats.dieArea),
+                chip->stats.padCount);
+    // The format invariants of Figure 1.
+    if (chip->stats.decoderArea <= 0 || chip->stats.padCount == 0) {
+      std::printf("  !! physical format violated\n");
+    }
+  }
+  std::printf("shape check: core+decoder surrounded by pads on all four sides; decoder\n");
+  std::printf("abuts the core through the control buffer row (see test_pass3).\n\n");
+}
+
+void BM_AssembleSmall(benchmark::State& state) {
+  const std::string src = core::samples::smallChip(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto chip = bench::compile(src);
+    benchmark::DoNotOptimize(chip->stats.dieArea);
+  }
+}
+BENCHMARK(BM_AssembleSmall)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

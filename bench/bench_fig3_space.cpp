@@ -1,0 +1,75 @@
+/// FIG3 — Figure 3, "Hierarchy of Systems": the current Bristle Blocks
+/// compiles one class of chip architectures within the larger compiler
+/// space. This bench sweeps the architecture space the current system
+/// covers (widths x element mixes x bus configurations) and reports
+/// coverage — the measurable counterpart of the figure.
+
+#include "bench_util.hpp"
+
+#include "icl/parser.hpp"
+
+using namespace bb;
+
+namespace {
+
+std::string chipFor(int width, int nregs, bool twoBuses, bool segmented) {
+  std::string src = "chip sweep;\nmicrocode width 12 { field op [0:3]; field sel [4:7]; "
+                    "field misc [8:11]; }\ndata width " +
+                    std::to_string(width) + ";\nbuses A" +
+                    (twoBuses ? std::string(", B") : std::string()) + ";\ncore {\n";
+  const char* outBus = twoBuses ? "B" : "A";
+  src += "  inport IN (bus = A, drive = \"op==1\");\n";
+  for (int r = 0; r < nregs; ++r) {
+    src += "  register R" + std::to_string(r) + " (in = A, out = " + outBus +
+           ", load = \"op==2 & sel==" + std::to_string(r) + "\", drive = \"op==3 & sel==" +
+           std::to_string(r) + "\");\n";
+  }
+  if (segmented) src += "  busstop BS (bus = A);\n";
+  src += "  outport OUT (bus = " + std::string(outBus) + ", sample = \"op==4\");\n}\n";
+  return src;
+}
+
+void printTable() {
+  std::printf("== FIG3: compiler space coverage (current architecture class) ==\n");
+  std::printf("%6s %6s %7s %10s %10s %12s %10s\n", "bits", "regs", "buses", "segmented",
+              "compiles", "die L^2", "controls");
+  int ok = 0, total = 0;
+  for (int width : {2, 4, 8, 16, 32}) {
+    for (int regs : {1, 4, 8}) {
+      for (bool two : {false, true}) {
+        for (bool seg : {false, true}) {
+          if (seg && !two) continue;  // segmenting the only bus isolates the port
+          ++total;
+          icl::DiagnosticList diags;
+          core::Compiler c;
+          auto chip = c.compile(chipFor(width, regs, two, seg), diags);
+          const bool good = chip != nullptr;
+          ok += good ? 1 : 0;
+          std::printf("%6d %6d %7d %10s %10s %12.0f %10zu\n", width, regs, two ? 2 : 1,
+                      seg ? "yes" : "no", good ? "yes" : "NO",
+                      good ? bench::lambda2(chip->stats.dieArea) : 0.0,
+                      good ? chip->controls.size() : 0u);
+        }
+      }
+    }
+  }
+  std::printf("coverage: %d/%d points of the swept architecture class compile\n\n", ok, total);
+}
+
+void BM_SweepPoint(benchmark::State& state) {
+  const std::string src = chipFor(static_cast<int>(state.range(0)), 4, true, false);
+  for (auto _ : state) {
+    auto chip = bench::compile(src);
+    benchmark::DoNotOptimize(chip->stats.dieArea);
+  }
+}
+BENCHMARK(BM_SweepPoint)->Arg(4)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

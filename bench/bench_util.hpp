@@ -1,0 +1,39 @@
+/// Shared helpers for the experiment benches. Every bench prints the
+/// paper-artifact table first (the rows EXPERIMENTS.md records), then
+/// runs its google-benchmark timings.
+
+#pragma once
+
+#include "core/compiler.hpp"
+#include "core/samples.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace bb::bench {
+
+inline std::unique_ptr<core::CompiledChip> compile(const std::string& src,
+                                                   core::CompileOptions opts = {}) {
+  icl::DiagnosticList diags;
+  core::Compiler c(std::move(opts));
+  auto chip = c.compile(src, diags);
+  if (chip == nullptr) {
+    std::fprintf(stderr, "bench compile failed:\n%s\n", diags.toString().c_str());
+    std::abort();
+  }
+  return chip;
+}
+
+inline double lambda2(geom::Coord area) {
+  return static_cast<double>(area) /
+         (geom::kUnitsPerLambda * geom::kUnitsPerLambda);
+}
+
+inline double lambdaLen(geom::Coord len) {
+  return static_cast<double>(len) / geom::kUnitsPerLambda;
+}
+
+}  // namespace bb::bench

@@ -1,0 +1,68 @@
+/// counter_chip: compile an 8-bit accumulator chip, then *write software
+/// for it* — a counting loop in microcode — and run it on the simulated
+/// silicon. This is the paper's Simulation representation earning its
+/// keep: "software can be written for the chip to explore the
+/// feasibility of the design."
+
+#include "core/compiler.hpp"
+#include "core/samples.hpp"
+#include "sim/testbench.hpp"
+
+#include <cstdio>
+
+namespace {
+
+// Microcode for the small-chip instruction set (see core/samples.hpp).
+unsigned long long mc(unsigned op, unsigned alu = 0) { return (op & 7u) | (alu << 4); }
+constexpr unsigned kLoadRA = 1, kOperands = 3, kStore = 4, kOut = 5;
+constexpr unsigned kAdd = 0;
+
+}  // namespace
+
+int main() {
+  bb::icl::DiagnosticList diags;
+  bb::core::Compiler compiler;
+  auto chip = compiler.compile(bb::core::samples::smallChip(8), diags);
+  if (chip == nullptr) {
+    std::fprintf(stderr, "compile failed:\n%s", diags.toString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", chip->statsText().c_str());
+
+  bb::sim::Simulator sim(chip->logic);
+  bb::sim::Testbench tb(sim, chip->desc.microcode.width, 8);
+
+  auto setPads = [&](unsigned long long v) {
+    for (int i = 0; i < 8; ++i) {
+      sim.setBool("pad.IN.pad" + std::to_string(i), (v >> i) & 1);
+    }
+  };
+  auto readOut = [&] {
+    unsigned long long v = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (sim.getBool("pad.OUT.pad" + std::to_string(i))) v |= 1ull << i;
+    }
+    return v;
+  };
+
+  std::printf("running a counting loop on the simulated chip:\n");
+  std::printf("  RA := 1; then repeatedly ACC := pads + RA, pads := ACC\n\n");
+  std::printf("%8s %12s %12s\n", "step", "expected", "observed");
+
+  setPads(1);
+  tb.run({mc(0), mc(kLoadRA)});  // warm-up + RA := 1
+  unsigned long long value = 0;
+  bool allGood = true;
+  for (int step = 1; step <= 10; ++step) {
+    setPads(value);
+    tb.run({mc(kOperands, kAdd), mc(kStore, kAdd), mc(kOut)});
+    value = (value + 1) & 0xff;
+    const unsigned long long got = readOut();
+    const bool ok = got == value;
+    allGood &= ok;
+    std::printf("%8d %12llu %12llu %s\n", step, value, got, ok ? "" : "  <-- MISMATCH");
+  }
+  std::printf("\n%s\n", allGood ? "the chip counts. software works before silicon does."
+                                : "simulation mismatch — the design needs work!");
+  return allGood ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+#include "baseline/handlayout.hpp"
+
+#include "elements/generators.hpp"
+#include "elements/slicekit.hpp"
+#include "icl/eval.hpp"
+
+#include <algorithm>
+
+namespace bb::baseline {
+
+namespace {
+using elements::lam;
+using geom::Coord;
+}  // namespace
+
+geom::Coord idealHandCoreArea(const core::CompiledChip& chip) {
+  // Re-derive natural pitches from the element kinds: every kit element
+  // has the contract pitch except the ALU (see AluElement::naturalPitch).
+  Coord area = 0;
+  for (const core::PlacedElement& pe : chip.placed) {
+    Coord natural = elements::contract().naturalPitch;
+    if (pe.kind == "alu") natural += lam(8);
+    area += pe.column->width() * natural * chip.desc.dataWidth;
+  }
+  return area;
+}
+
+RoutedCoreResult buildRoutedCore(const icl::ChipDesc& desc,
+                                 const std::map<std::string, bool>& vars,
+                                 cell::CellLibrary& lib, icl::DiagnosticList& diags) {
+  RoutedCoreResult res;
+  const std::vector<icl::ElementDecl> decls = icl::assembleCore(desc, vars, diags);
+  if (diags.hasErrors()) {
+    res.error = "conditional assembly failed";
+    return res;
+  }
+
+  elements::ElementContext ctx;
+  ctx.dataWidth = desc.dataWidth;
+  ctx.busCount = static_cast<int>(desc.buses.size());
+  ctx.microcode = &desc.microcode;
+  ctx.lib = &lib;
+
+  struct Col {
+    cell::Cell* cell;
+    Coord pitch;
+  };
+  std::vector<Col> cols;
+  for (const icl::ElementDecl& d : decls) {
+    auto g = elements::makeElement(d, desc, diags);
+    if (g == nullptr) {
+      res.error = "bad element " + d.name;
+      return res;
+    }
+    // Natural pitch for THIS element only: no stretching at all.
+    ctx.pitch = g->naturalPitch(ctx);
+    ctx.railWiden = 0;
+    elements::GeneratedElement ge = g->generate(ctx);
+    cols.push_back({ge.column, ctx.pitch});
+  }
+  if (cols.empty()) {
+    res.error = "no elements";
+    return res;
+  }
+
+  // Assemble with river channels where the bus tracks misalign: bit i's
+  // track sits at i*pitch + offset, so adjacent columns with pitches p,q
+  // need jogs up to (dataWidth-1)*|p-q| — a single-layer river channel of
+  // that width plus working clearance.
+  res.core = lib.create("hand_core");
+  Coord x = 0;
+  Coord maxH = 0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) {
+      const Coord dp = cols[i].pitch > cols[i - 1].pitch ? cols[i].pitch - cols[i - 1].pitch
+                                                         : cols[i - 1].pitch - cols[i].pitch;
+      if (dp > 0) {
+        const Coord maxJog = static_cast<Coord>(desc.dataWidth - 1) * dp;
+        const Coord chanW = maxJog + lam(8);
+        // Draw the river: per bit, one jogged metal wire per bus track.
+        const auto& k = elements::contract();
+        for (int bit = 0; bit < desc.dataWidth; ++bit) {
+          const Coord yl = static_cast<Coord>(bit) * cols[i - 1].pitch;
+          const Coord yr = static_cast<Coord>(bit) * cols[i].pitch;
+          for (Coord off : {k.busAY0 + lam(1), k.busBY0 + lam(1)}) {
+            geom::Path p;
+            p.width = lam(3);
+            p.pts = {{x, yl + off},
+                     {x + chanW / 2, yl + off},
+                     {x + chanW / 2, yr + off},
+                     {x + chanW, yr + off}};
+            res.core->addPath(tech::Layer::Metal, p);
+          }
+        }
+        res.routingWidth += chanW;
+        ++res.channels;
+        x += chanW;
+      }
+    }
+    res.core->addInstance(cols[i].cell, geom::Transform::translate({x, 0}),
+                          "hand:" + cols[i].cell->name());
+    x += cols[i].cell->width();
+    maxH = std::max(maxH, cols[i].pitch * desc.dataWidth);
+  }
+  res.core->setBoundary(geom::Rect{0, 0, x, maxH});
+  res.core->setDoc("hand-layout baseline core (variable pitch + river routing)");
+  res.ok = true;
+  res.width = x;
+  res.height = maxH;
+  res.area = x * maxH;
+  return res;
+}
+
+}  // namespace bb::baseline

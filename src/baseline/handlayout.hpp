@@ -1,0 +1,44 @@
+/// \file handlayout.hpp
+/// The "hand layout" comparators behind the paper's area claim ("±10% of
+/// the area of a chip produced by hand using the structured design
+/// methodology") and behind the stretch-vs-routing design decision ("to
+/// save the space and costly routing needed if cell widths vary").
+///
+/// Two baselines:
+///   * idealHandCoreArea — a generous lower bound for a hand designer:
+///     every element at its own natural pitch, zero routing overhead.
+///   * buildRoutedCore — the real alternative to stretching: columns kept
+///     at natural pitch and joined by single-layer river-routing channels
+///     wherever the bus tracks misalign.
+
+#pragma once
+
+#include "core/chip.hpp"
+#include "icl/ast.hpp"
+
+namespace bb::baseline {
+
+/// Idealized hand area of the core: sum of element column areas at their
+/// natural pitches (no pitch-matching waste, no routing).
+[[nodiscard]] geom::Coord idealHandCoreArea(const core::CompiledChip& chip);
+
+struct RoutedCoreResult {
+  bool ok = false;
+  std::string error;
+  geom::Coord width = 0;
+  geom::Coord height = 0;
+  geom::Coord area = 0;
+  geom::Coord routingWidth = 0;  ///< total river-channel width inserted
+  std::size_t channels = 0;
+  cell::Cell* core = nullptr;  ///< owned by `lib`
+};
+
+/// Build the variable-pitch core: each element at natural pitch, river
+/// channels between columns whose bus tracks misalign. `lib` receives the
+/// cells.
+[[nodiscard]] RoutedCoreResult buildRoutedCore(const icl::ChipDesc& desc,
+                                               const std::map<std::string, bool>& vars,
+                                               cell::CellLibrary& lib,
+                                               icl::DiagnosticList& diags);
+
+}  // namespace bb::baseline

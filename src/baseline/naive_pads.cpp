@@ -1,0 +1,75 @@
+#include "baseline/naive_pads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bb::baseline {
+
+PadStrategyReport comparePadStrategies(const core::CompiledChip& chip) {
+  // The compiled chip already knows every (slot pin, target) pair; what
+  // changed between strategies is only the assignment. Rebuild the two
+  // position sets from the placements.
+  std::vector<geom::Point> pins;
+  std::vector<geom::Point> targets;
+  for (const core::PadPlacement& p : chip.pads) {
+    pins.push_back(p.pinAt);
+    targets.push_back(p.target);
+  }
+  const std::size_t n = pins.size();
+  PadStrategyReport rep;
+  if (n == 0) return rep;
+
+  // Clockwise order of targets around the centroid (the paper's sort).
+  geom::Point c{0, 0};
+  for (const geom::Point& t : targets) c += t;
+  c = {c.x / static_cast<geom::Coord>(n), c.y / static_cast<geom::Coord>(n)};
+  auto key = [&](geom::Point p) {
+    double a = std::atan2(static_cast<double>(p.x - c.x), static_cast<double>(p.y - c.y));
+    if (a < 0) a += 2 * 3.14159265358979323846;
+    return a;
+  };
+  std::vector<std::size_t> tOrder(n), sOrder(n);
+  for (std::size_t i = 0; i < n; ++i) tOrder[i] = sOrder[i] = i;
+  std::sort(tOrder.begin(), tOrder.end(),
+            [&](std::size_t a, std::size_t b) { return key(targets[a]) < key(targets[b]); });
+  std::sort(sOrder.begin(), sOrder.end(),
+            [&](std::size_t a, std::size_t b) { return key(pins[a]) < key(pins[b]); });
+
+  // Naive: clockwise allocation with no rotation.
+  for (std::size_t i = 0; i < n; ++i) {
+    rep.naive += geom::manhattan(pins[sOrder[i]], targets[tOrder[i]]);
+  }
+
+  // Greedy nearest free slot.
+  std::vector<bool> used(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point t = targets[tOrder[i]];
+    geom::Coord best = 0;
+    std::size_t bestJ = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (used[j]) continue;
+      const geom::Coord d = geom::manhattan(pins[j], t);
+      if (bestJ == n || d < best) {
+        best = d;
+        bestJ = j;
+      }
+    }
+    used[bestJ] = true;
+    rep.greedy += best;
+  }
+
+  // Roto-Router: best rotation of the clockwise allocation.
+  geom::Coord bestLen = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    geom::Coord len = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      len += geom::manhattan(pins[sOrder[(i + r) % n]], targets[tOrder[i]]);
+    }
+    if (r == 0 || len < bestLen) bestLen = len;
+  }
+  rep.rotoRouter = bestLen;
+  return rep;
+}
+
+}  // namespace bb::baseline

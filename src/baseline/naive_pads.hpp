@@ -1,0 +1,21 @@
+/// \file naive_pads.hpp
+/// Pad-placement baselines for the Roto-Router ablation: the strategies a
+/// designer (or a lesser compiler) would use instead.
+
+#pragma once
+
+#include "core/chip.hpp"
+
+namespace bb::baseline {
+
+struct PadStrategyReport {
+  geom::Coord naive = 0;      ///< clockwise allocation, no rotation
+  geom::Coord greedy = 0;     ///< nearest-free-slot heuristic
+  geom::Coord rotoRouter = 0; ///< the paper's rotation search
+};
+
+/// Re-run the three allocation strategies over the chip's actual pad
+/// requests and slot ring, reporting total Manhattan wire length each.
+[[nodiscard]] PadStrategyReport comparePadStrategies(const core::CompiledChip& chip);
+
+}  // namespace bb::baseline

@@ -1,0 +1,58 @@
+#include "cell/flatten.hpp"
+
+namespace bb::cell {
+
+std::size_t FlatLayout::totalCount() const noexcept {
+  std::size_t n = polygons.size();
+  for (const auto& v : rects) n += v.size();
+  return n;
+}
+
+geom::Rect FlatLayout::bbox() const noexcept {
+  geom::Rect acc;
+  bool first = true;
+  auto grow = [&](const geom::Rect& r) {
+    if (first) {
+      acc = r;
+      first = false;
+    } else {
+      acc = acc.unionWith(r);
+    }
+  };
+  for (const auto& v : rects) {
+    for (const geom::Rect& r : v) grow(r);
+  }
+  for (const auto& [l, p] : polygons) grow(p.bbox());
+  return acc;
+}
+
+void flattenInto(FlatLayout& out, const Cell& c, const geom::Transform& t) {
+  for (const Shape& s : c.shapes()) {
+    std::visit(
+        [&](const auto& g) {
+          using T = std::decay_t<decltype(g)>;
+          if constexpr (std::is_same_v<T, geom::Rect>) {
+            out.on(s.layer).push_back(t(g));
+          } else if constexpr (std::is_same_v<T, geom::Polygon>) {
+            out.polygons.emplace_back(s.layer, t(g));
+          } else {
+            // Transform the path, then decompose: D4 transforms keep
+            // segments axis-parallel so the decomposition stays exact.
+            const geom::Path tp = t(g);
+            for (const geom::Rect& r : tp.toRects()) out.on(s.layer).push_back(r);
+          }
+        },
+        s.geo);
+  }
+  for (const Instance& i : c.instances()) {
+    flattenInto(out, *i.cell, t * i.placement);
+  }
+}
+
+FlatLayout flatten(const Cell& c, const geom::Transform& t) {
+  FlatLayout out;
+  flattenInto(out, c, t);
+  return out;
+}
+
+}  // namespace bb::cell

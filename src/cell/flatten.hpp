@@ -1,0 +1,38 @@
+/// \file flatten.hpp
+/// Hierarchy flattening: expand a cell and all sub-instances into
+/// per-layer primitive lists in a single coordinate system. DRC,
+/// extraction and the mask writers operate on the flattened form.
+
+#pragma once
+
+#include "cell/cell.hpp"
+
+#include <array>
+#include <vector>
+
+namespace bb::cell {
+
+/// Flattened artwork: rectangles per layer (paths are decomposed into
+/// rectangles; polygons are kept whole).
+struct FlatLayout {
+  std::array<std::vector<geom::Rect>, tech::kLayerCount> rects;
+  std::vector<std::pair<tech::Layer, geom::Polygon>> polygons;
+
+  [[nodiscard]] std::vector<geom::Rect>& on(tech::Layer l) noexcept {
+    return rects[static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] const std::vector<geom::Rect>& on(tech::Layer l) const noexcept {
+    return rects[static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] std::size_t totalCount() const noexcept;
+  [[nodiscard]] geom::Rect bbox() const noexcept;
+};
+
+/// Flatten `c` (optionally pre-transformed by `t`).
+[[nodiscard]] FlatLayout flatten(const Cell& c, const geom::Transform& t = {});
+
+/// Flatten into an existing FlatLayout (used when assembling a chip from
+/// several placed cells).
+void flattenInto(FlatLayout& out, const Cell& c, const geom::Transform& t = {});
+
+}  // namespace bb::cell

@@ -1,0 +1,222 @@
+#include "cell/library.hpp"
+
+#include <sstream>
+
+namespace bb::cell {
+
+Cell* CellLibrary::create(std::string name) {
+  std::string unique = name;
+  int n = 1;
+  while (cells_.contains(unique)) {
+    unique = name + "#" + std::to_string(n++);
+  }
+  auto cell = std::make_unique<Cell>(unique);
+  Cell* raw = cell.get();
+  cells_.emplace(std::move(unique), std::move(cell));
+  order_.push_back(raw);
+  return raw;
+}
+
+Cell* CellLibrary::adopt(Cell c) {
+  std::string unique = c.name();
+  int n = 1;
+  while (cells_.contains(unique)) {
+    unique = c.name() + "#" + std::to_string(n++);
+  }
+  auto cell = std::make_unique<Cell>(std::move(c));
+  Cell* raw = cell.get();
+  cells_.emplace(std::move(unique), std::move(cell));
+  order_.push_back(raw);
+  return raw;
+}
+
+const Cell* CellLibrary::find(std::string_view name) const noexcept {
+  auto it = cells_.find(name);
+  return it == cells_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+void writePoint(std::ostream& os, geom::Point p) { os << p.x << ' ' << p.y; }
+
+}  // namespace
+
+std::string CellLibrary::saveCell(const Cell& c) const {
+  std::ostringstream os;
+  os << "cell " << c.name() << "\n";
+  const geom::Rect b = c.boundary();
+  os << "boundary " << b.x0 << ' ' << b.y0 << ' ' << b.x1 << ' ' << b.y1 << "\n";
+  if (!c.doc().empty()) os << "doc " << c.doc() << "\n";
+  if (c.powerDemand() > 0) os << "power " << c.powerDemand() << "\n";
+  for (const Shape& s : c.shapes()) {
+    std::visit(
+        [&](const auto& g) {
+          using T = std::decay_t<decltype(g)>;
+          if constexpr (std::is_same_v<T, geom::Rect>) {
+            os << "rect " << tech::cifName(s.layer) << ' ' << g.x0 << ' ' << g.y0 << ' ' << g.x1
+               << ' ' << g.y1 << "\n";
+          } else if constexpr (std::is_same_v<T, geom::Polygon>) {
+            os << "poly " << tech::cifName(s.layer);
+            for (geom::Point p : g.pts) {
+              os << ' ';
+              writePoint(os, p);
+            }
+            os << "\n";
+          } else {
+            os << "wire " << tech::cifName(s.layer) << ' ' << g.width;
+            for (geom::Point p : g.pts) {
+              os << ' ';
+              writePoint(os, p);
+            }
+            os << "\n";
+          }
+        },
+        s.geo);
+  }
+  for (const Bristle& br : c.bristles()) {
+    os << "bristle " << br.name << ' ' << flavorName(br.flavor) << ' ' << sideName(br.side) << ' '
+       << br.pos.x << ' ' << br.pos.y << ' ' << tech::cifName(br.layer) << ' ' << br.width << "\n";
+  }
+  for (const StretchLine& sl : c.stretchLines()) {
+    os << "stretch " << (sl.axis == StretchAxis::X ? "x" : "y") << ' ' << sl.at << ' '
+       << (sl.name.empty() ? std::string("-") : sl.name) << "\n";
+  }
+  for (const Instance& i : c.instances()) {
+    os << "inst " << i.cell->name() << ' ' << geom::name(i.placement.orient) << ' '
+       << i.placement.offset.x << ' ' << i.placement.offset.y << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+CellLibrary::LoadResult CellLibrary::loadCell(std::string_view text) {
+  LoadResult res;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  Cell* cell = nullptr;
+  int lineNo = 0;
+  auto fail = [&](const std::string& msg) {
+    res.cell = nullptr;
+    res.error = "line " + std::to_string(lineNo) + ": " + msg;
+    return res;
+  };
+  while (std::getline(is, line)) {
+    ++lineNo;
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw) || kw.empty() || kw[0] == '#') continue;
+    if (kw == "cell") {
+      std::string name;
+      if (!(ls >> name)) return fail("cell needs a name");
+      cell = create(name);
+      continue;
+    }
+    if (cell == nullptr) return fail("expected 'cell <name>' first");
+    if (kw == "boundary") {
+      geom::Coord a, b, c2, d;
+      if (!(ls >> a >> b >> c2 >> d)) return fail("boundary needs 4 coords");
+      cell->setBoundary(geom::Rect{a, b, c2, d});
+    } else if (kw == "doc") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      cell->setDoc(rest);
+    } else if (kw == "power") {
+      double p = 0;
+      if (!(ls >> p)) return fail("power needs a number");
+      cell->setOwnPower(p);
+    } else if (kw == "rect") {
+      std::string lay;
+      geom::Coord a, b, c2, d;
+      if (!(ls >> lay >> a >> b >> c2 >> d)) return fail("rect needs layer + 4 coords");
+      auto l = tech::layerFromCif(lay);
+      if (!l) return fail("unknown layer " + lay);
+      cell->addRect(*l, geom::Rect{a, b, c2, d});
+    } else if (kw == "poly") {
+      std::string lay;
+      if (!(ls >> lay)) return fail("poly needs layer");
+      auto l = tech::layerFromCif(lay);
+      if (!l) return fail("unknown layer " + lay);
+      geom::Polygon p;
+      geom::Coord x, y;
+      while (ls >> x >> y) p.pts.push_back({x, y});
+      if (p.pts.size() < 3) return fail("poly needs >= 3 points");
+      cell->addPolygon(*l, std::move(p));
+    } else if (kw == "wire") {
+      std::string lay;
+      geom::Coord w;
+      if (!(ls >> lay >> w)) return fail("wire needs layer + width");
+      auto l = tech::layerFromCif(lay);
+      if (!l) return fail("unknown layer " + lay);
+      geom::Path p;
+      p.width = w;
+      geom::Coord x, y;
+      while (ls >> x >> y) p.pts.push_back({x, y});
+      if (p.pts.empty()) return fail("wire needs points");
+      cell->addPath(*l, std::move(p));
+    } else if (kw == "bristle") {
+      std::string name, flav, side, lay;
+      geom::Coord x, y, w;
+      if (!(ls >> name >> flav >> side >> x >> y >> lay >> w)) {
+        return fail("bristle needs name flavor side x y layer width");
+      }
+      Bristle b;
+      b.name = name;
+      bool found = false;
+      for (int fi = 0; fi <= static_cast<int>(BristleFlavor::Probe); ++fi) {
+        if (flavorName(static_cast<BristleFlavor>(fi)) == flav) {
+          b.flavor = static_cast<BristleFlavor>(fi);
+          found = true;
+          break;
+        }
+      }
+      if (!found) return fail("unknown flavor " + flav);
+      if (side == "north") b.side = Side::North;
+      else if (side == "east") b.side = Side::East;
+      else if (side == "south") b.side = Side::South;
+      else if (side == "west") b.side = Side::West;
+      else return fail("unknown side " + side);
+      auto l = tech::layerFromCif(lay);
+      if (!l) return fail("unknown layer " + lay);
+      b.layer = *l;
+      b.pos = {x, y};
+      b.width = w;
+      cell->addBristle(std::move(b));
+    } else if (kw == "stretch") {
+      std::string axis, name;
+      geom::Coord at;
+      if (!(ls >> axis >> at >> name)) return fail("stretch needs axis at name");
+      cell->addStretch(axis == "x" ? StretchAxis::X : StretchAxis::Y, at,
+                       name == "-" ? std::string() : name);
+    } else if (kw == "inst") {
+      std::string ref, orient;
+      geom::Coord x, y;
+      if (!(ls >> ref >> orient >> x >> y)) return fail("inst needs ref orient x y");
+      const Cell* sub = find(ref);
+      if (sub == nullptr) return fail("unknown sub-cell " + ref);
+      geom::Orientation o = geom::Orientation::R0;
+      bool ok = false;
+      for (geom::Orientation cand : geom::kAllOrientations) {
+        if (geom::name(cand) == orient) {
+          o = cand;
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return fail("unknown orientation " + orient);
+      cell->addInstance(sub, geom::Transform{o, {x, y}});
+    } else if (kw == "end") {
+      res.cell = cell;
+      return res;
+    } else {
+      return fail("unknown keyword " + kw);
+    }
+  }
+  if (cell != nullptr) {
+    res.cell = cell;
+    return res;
+  }
+  return fail("empty cell definition");
+}
+
+}  // namespace bb::cell

@@ -1,0 +1,59 @@
+/// \file library.hpp
+/// Cell ownership and lookup. The paper stores cell definitions in disk
+/// files "to allow for the use of common cell libraries and sharing of
+/// data"; here a CellLibrary owns every Cell created during a compile and
+/// provides name lookup, plus save/load of cells in a simple textual cell
+/// design language (the equivalent of the paper's "standard cell design
+/// language" for entering low-level cells).
+
+#pragma once
+
+#include "cell/cell.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace bb::cell {
+
+/// Owns cells; pointers returned stay valid for the library's lifetime.
+class CellLibrary {
+ public:
+  CellLibrary() = default;
+  CellLibrary(const CellLibrary&) = delete;
+  CellLibrary& operator=(const CellLibrary&) = delete;
+  CellLibrary(CellLibrary&&) = default;
+  CellLibrary& operator=(CellLibrary&&) = default;
+
+  /// Create a new empty cell. Names must be unique; a duplicate name gets
+  /// a "#n" suffix so procedural generators can re-run freely.
+  Cell* create(std::string name);
+
+  /// Adopt an already-built cell (e.g. the result of a stretch).
+  Cell* adopt(Cell c);
+
+  [[nodiscard]] const Cell* find(std::string_view name) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+  /// Iterate in creation order.
+  [[nodiscard]] const std::vector<Cell*>& all() const noexcept { return order_; }
+
+  /// Serialize one cell (shapes, bristles, stretch lines, boundary) in the
+  /// textual cell design language. Instances are written by reference.
+  [[nodiscard]] std::string saveCell(const Cell& c) const;
+
+  /// Parse a cell definition produced by saveCell. Referenced sub-cells
+  /// must already exist in the library. Returns nullptr + error on
+  /// malformed input.
+  struct LoadResult {
+    Cell* cell = nullptr;
+    std::string error;
+  };
+  LoadResult loadCell(std::string_view text);
+
+ private:
+  std::map<std::string, std::unique_ptr<Cell>, std::less<>> cells_;
+  std::vector<Cell*> order_;
+};
+
+}  // namespace bb::cell

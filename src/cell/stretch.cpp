@@ -1,0 +1,157 @@
+#include "cell/stretch.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bb::cell {
+
+namespace {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+/// Coordinate of a point along the stretch axis.
+Coord along(StretchAxis axis, Point p) noexcept { return axis == StretchAxis::X ? p.x : p.y; }
+
+Point shift(StretchAxis axis, Coord delta) noexcept {
+  return axis == StretchAxis::X ? Point{delta, 0} : Point{0, delta};
+}
+
+/// Move a single point if it sits at-or-beyond the line.
+Point movePoint(StretchAxis axis, Coord at, Coord delta, Point p) noexcept {
+  if (along(axis, p) >= at) return p + shift(axis, delta);
+  return p;
+}
+
+Rect stretchRect(StretchAxis axis, Coord at, Coord delta, const Rect& r) noexcept {
+  const Point a = movePoint(axis, at, delta, {r.x0, r.y0});
+  const Point b = movePoint(axis, at, delta, {r.x1, r.y1});
+  return Rect{a.x, a.y, b.x, b.y};
+}
+
+}  // namespace
+
+bool instanceStraddlesLine(const Cell& c, StretchAxis axis, geom::Coord at) noexcept {
+  for (const Instance& i : c.instances()) {
+    const Rect b = i.placement(i.cell->boundary());
+    const Coord lo = axis == StretchAxis::X ? b.x0 : b.y0;
+    const Coord hi = axis == StretchAxis::X ? b.x1 : b.y1;
+    if (lo < at && hi > at) return true;
+  }
+  return false;
+}
+
+Cell stretched(const Cell& c, StretchAxis axis, geom::Coord at, geom::Coord delta,
+               std::string newName) {
+  assert(delta >= 0 && "stretch deltas are non-negative");
+  if (newName.empty()) newName = c.name() + "+" + std::to_string(delta);
+  Cell out(std::move(newName));
+  out.setDoc(c.doc());
+  out.setOwnPower(c.powerDemand());
+  // Own power must not double-count sub-instances: we copy instances
+  // below, so subtract their contribution back out.
+  double sub = 0;
+  for (const Instance& i : c.instances()) sub += i.cell->powerDemand();
+  out.setOwnPower(c.powerDemand() - sub);
+
+  for (const Shape& s : c.shapes()) {
+    std::visit(
+        [&](const auto& g) {
+          using T = std::decay_t<decltype(g)>;
+          if constexpr (std::is_same_v<T, Rect>) {
+            out.addRect(s.layer, stretchRect(axis, at, delta, g));
+          } else if constexpr (std::is_same_v<T, geom::Polygon>) {
+            geom::Polygon p;
+            p.pts.reserve(g.pts.size());
+            for (Point q : g.pts) p.pts.push_back(movePoint(axis, at, delta, q));
+            out.addPolygon(s.layer, std::move(p));
+          } else {
+            geom::Path p;
+            p.width = g.width;
+            p.pts.reserve(g.pts.size());
+            for (Point q : g.pts) p.pts.push_back(movePoint(axis, at, delta, q));
+            out.addPath(s.layer, std::move(p));
+          }
+        },
+        s.geo);
+  }
+
+  for (const Instance& i : c.instances()) {
+    const Rect b = i.placement(i.cell->boundary());
+    const Coord lo = axis == StretchAxis::X ? b.x0 : b.y0;
+    geom::Transform t = i.placement;
+    if (lo >= at) t.offset += shift(axis, delta);
+    // Straddling instances are a generator bug; translate-if-beyond keeps
+    // the result well-formed and instanceStraddlesLine() reports it.
+    out.addInstance(i.cell, t, i.name);
+  }
+
+  for (Bristle b : c.bristles()) {
+    b.pos = movePoint(axis, at, delta, b.pos);
+    out.addBristle(std::move(b));
+  }
+
+  for (const StretchLine& sl : c.stretchLines()) {
+    StretchLine ns = sl;
+    if (ns.axis == axis && ns.at >= at) ns.at += delta;
+    // A line on the other axis is unaffected by where material moved;
+    // keep it as declared.
+    out.addStretch(ns.axis, ns.at, ns.name);
+  }
+
+  out.setBoundary(stretchRect(axis, at, delta, c.boundary()));
+  return out;
+}
+
+FitResult stretchedToExtent(const Cell& c, StretchAxis axis, geom::Coord target,
+                            std::string newName) {
+  FitResult res;
+  const Coord have = axis == StretchAxis::X ? c.width() : c.height();
+  if (have == target) {
+    res.ok = true;
+    res.cell = c;  // copy; caller owns the result
+    if (!newName.empty()) res.cell = stretched(c, axis, 0, 0, std::move(newName));
+    return res;
+  }
+  if (have > target) {
+    res.error = "cell '" + c.name() + "' is already larger (" + std::to_string(have) +
+                ") than target " + std::to_string(target);
+    return res;
+  }
+  std::vector<StretchLine> lines;
+  for (const StretchLine& sl : c.stretchLines()) {
+    if (sl.axis == axis) lines.push_back(sl);
+  }
+  if (lines.empty()) {
+    res.error = "cell '" + c.name() + "' has no stretch line on the required axis";
+    return res;
+  }
+  // Distribute target-have over the lines, earlier lines get the remainder.
+  const Coord need = target - have;
+  const Coord per = need / static_cast<Coord>(lines.size());
+  Coord rem = need % static_cast<Coord>(lines.size());
+  // Apply from the highest line down so earlier `at` values stay valid.
+  std::sort(lines.begin(), lines.end(),
+            [](const StretchLine& a, const StretchLine& b) { return a.at > b.at; });
+  Cell cur = c;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    Coord d = per + (rem > 0 ? 1 : 0);
+    if (rem > 0) --rem;
+    if (d == 0) continue;
+    if (instanceStraddlesLine(cur, axis, lines[i].at)) {
+      res.error = "stretch line '" + lines[i].name + "' of cell '" + c.name() +
+                  "' straddles a sub-instance";
+      return res;
+    }
+    cur = stretched(cur, axis, lines[i].at, d);
+  }
+  if (!newName.empty()) {
+    cur = stretched(cur, axis, 0, 0, std::move(newName));
+  }
+  res.ok = true;
+  res.cell = std::move(cur);
+  return res;
+}
+
+}  // namespace bb::cell

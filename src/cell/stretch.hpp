@@ -1,0 +1,44 @@
+/// \file stretch.hpp
+/// The stretch operation — the mechanism that lets Bristle Blocks give
+/// every core cell a common pitch without redesign.
+///
+/// Stretching a cell at a stretch line by `delta`:
+///   * shapes wholly at-or-beyond the line translate by delta;
+///   * shapes crossing the line widen by delta;
+///   * bristles, stretch lines and sub-instances at-or-beyond translate;
+///   * the boundary grows by delta.
+/// Sub-instances must not straddle a stretch line (generators declare
+/// lines in instance-free corridors); a straddling instance is an error
+/// reported via StretchResult.
+
+#pragma once
+
+#include "cell/cell.hpp"
+
+#include <string>
+
+namespace bb::cell {
+
+/// Stretch `c` at the line (axis, at) by `delta` (>= 0), producing a new
+/// cell named `newName` (default: "<name>+<delta>").
+[[nodiscard]] Cell stretched(const Cell& c, StretchAxis axis, geom::Coord at, geom::Coord delta,
+                             std::string newName = {});
+
+/// Grow a cell to exactly `target` extent along `axis`, distributing the
+/// needed delta evenly over the cell's declared stretch lines on that
+/// axis (earlier lines absorb the remainder). Cells with no stretch line
+/// on the axis and extent < target are reported as failures.
+struct FitResult {
+  bool ok = false;
+  std::string error;
+  Cell cell{""};
+};
+
+[[nodiscard]] FitResult stretchedToExtent(const Cell& c, StretchAxis axis, geom::Coord target,
+                                          std::string newName = {});
+
+/// True if any sub-instance straddles the given line (which would make
+/// the stretch unsound).
+[[nodiscard]] bool instanceStraddlesLine(const Cell& c, StretchAxis axis, geom::Coord at) noexcept;
+
+}  // namespace bb::cell

@@ -1,0 +1,39 @@
+#include "core/chip.hpp"
+
+#include <sstream>
+
+namespace bb::core {
+
+namespace {
+double toLambda(geom::Coord v) { return static_cast<double>(v) / geom::kUnitsPerLambda; }
+double toLambda2(geom::Coord v) {
+  return static_cast<double>(v) / (geom::kUnitsPerLambda * geom::kUnitsPerLambda);
+}
+}  // namespace
+
+std::string CompiledChip::statsText() const {
+  std::ostringstream os;
+  os << "chip '" << desc.name << "': " << desc.dataWidth << "-bit, " << placed.size()
+     << " core elements, " << desc.buses.size() << " buses\n";
+  os << "  pitch:        " << toLambda(stats.pitch) << "L (widest natural "
+     << toLambda(stats.naturalPitchMax) << "L)\n";
+  os << "  core:         " << toLambda(stats.coreWidth) << " x " << toLambda(stats.coreHeight)
+     << "L = " << toLambda2(stats.coreArea) << " L^2\n";
+  os << "  decoder:      " << toLambda2(stats.decoderArea) << " L^2, "
+     << pla.termCount() << " terms, " << stats.controlCount << " control lines\n";
+  os << "  pads:         " << stats.padCount << " (wire length "
+     << toLambda(stats.padWireLength) << "L)\n";
+  os << "  die:          " << toLambda(stats.dieWidth) << " x " << toLambda(stats.dieHeight)
+     << "L = " << toLambda2(stats.dieArea) << " L^2\n";
+  os << "  bus segments: " << stats.busSegments[0] << " + " << stats.busSegments[1] << " ("
+     << stats.prechargeColumns << " precharge columns)\n";
+  os << "  power:        " << stats.power_ua / 1000.0 << " mA static, rails "
+     << toLambda(stats.powerRailWidth) << "L\n";
+  os << "  logic:        " << stats.logicGates << " gates, " << stats.logicSignals
+     << " signals\n";
+  os << "  artwork:      " << stats.cellCount << " cells, " << stats.shapeCount
+     << " flattened primitives\n";
+  return os.str();
+}
+
+}  // namespace bb::core

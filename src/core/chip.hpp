@@ -1,0 +1,85 @@
+/// \file chip.hpp
+/// The compiled chip: everything the three passes produce, owned in one
+/// object — the cell hierarchy (with the top mask cell), the logic model,
+/// the decoder PLA, pad placements and the statistics every report and
+/// bench draws from.
+
+#pragma once
+
+#include "cell/library.hpp"
+#include "core/pass2_tapes.hpp"
+#include "core/pla.hpp"
+#include "elements/element.hpp"
+#include "icl/ast.hpp"
+#include "netlist/logic.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bb::core {
+
+/// One core element after placement.
+struct PlacedElement {
+  std::string name;
+  std::string kind;
+  cell::Cell* column = nullptr;
+  geom::Coord x = 0;  ///< west edge within the core
+  std::vector<elements::ControlLine> controls;
+  bool usesBus[2] = {false, false};
+};
+
+/// One pad after Pass 3.
+struct PadPlacement {
+  std::string name;          ///< bristle name it serves
+  std::string padCellName;
+  cell::Side side = cell::Side::North;  ///< which chip edge
+  geom::Point pinAt;         ///< pin position in chip coordinates
+  geom::Point target;        ///< the connection point it is wired to
+  geom::Coord wireLength = 0;
+};
+
+struct ChipStats {
+  geom::Coord pitch = 0;            ///< common slice pitch after stretching
+  geom::Coord naturalPitchMax = 0;  ///< widest natural pitch found
+  geom::Coord coreWidth = 0;
+  geom::Coord coreHeight = 0;
+  geom::Coord coreArea = 0;
+  geom::Coord decoderArea = 0;      ///< buffer row + PLA
+  geom::Coord padRingArea = 0;
+  geom::Coord dieWidth = 0;
+  geom::Coord dieHeight = 0;
+  geom::Coord dieArea = 0;
+  geom::Coord padWireLength = 0;
+  std::size_t padCount = 0;
+  std::size_t controlCount = 0;
+  std::size_t busSegments[2] = {1, 1};
+  std::size_t prechargeColumns = 0;
+  double power_ua = 0;
+  geom::Coord powerRailWidth = 0;
+  std::size_t cellCount = 0;
+  std::size_t shapeCount = 0;       ///< flattened primitive count
+  std::size_t logicGates = 0;
+  std::size_t logicSignals = 0;
+};
+
+/// Everything a compile produces. Movable, not copyable (owns the cells).
+struct CompiledChip {
+  icl::ChipDesc desc;
+  cell::CellLibrary lib;
+  cell::Cell* top = nullptr;      ///< whole die (core + decoder + pads)
+  cell::Cell* core = nullptr;
+  cell::Cell* bufferRow = nullptr;
+  cell::Cell* decoder = nullptr;  ///< the PLA
+  std::vector<PlacedElement> placed;
+  std::vector<elements::ControlLine> controls;  ///< absolute x in core coords
+  std::vector<PadPlacement> pads;
+  netlist::LogicModel logic;
+  Pla pla;
+  TapeStats tapeStats;
+  ChipStats stats;
+
+  [[nodiscard]] std::string statsText() const;
+};
+
+}  // namespace bb::core

@@ -1,0 +1,36 @@
+#include "core/compiler.hpp"
+
+#include "cell/flatten.hpp"
+#include "icl/parser.hpp"
+
+namespace bb::core {
+
+std::unique_ptr<CompiledChip> Compiler::compile(std::string_view source,
+                                                icl::DiagnosticList& diags) {
+  auto desc = icl::parseChip(source, diags);
+  if (!desc) return nullptr;
+  return compile(*desc, diags);
+}
+
+std::unique_ptr<CompiledChip> Compiler::compile(const icl::ChipDesc& desc,
+                                                icl::DiagnosticList& diags) {
+  auto chip = std::make_unique<CompiledChip>();
+  chip->desc = desc;
+
+  // Conditional assembly resolves the element list before any pass runs.
+  const std::vector<icl::ElementDecl> decls = icl::assembleCore(desc, opts_.vars, diags);
+  if (diags.hasErrors()) return nullptr;
+
+  if (!runPass1(*chip, decls, opts_.pass1, diags)) return nullptr;
+  if (!runPass2(*chip, opts_.pass2, diags)) return nullptr;
+  if (!runPass3(*chip, opts_.pass3, diags)) return nullptr;
+
+  // Final bookkeeping for reports.
+  chip->stats.cellCount = chip->lib.size();
+  chip->stats.shapeCount = cell::flatten(*chip->top).totalCount();
+  chip->stats.logicGates = chip->logic.gates().size();
+  chip->stats.logicSignals = chip->logic.signalCount();
+  return chip;
+}
+
+}  // namespace bb::core

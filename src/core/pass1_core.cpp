@@ -1,0 +1,229 @@
+#include "core/pass1_core.hpp"
+
+#include "elements/busparts.hpp"
+#include "elements/generators.hpp"
+#include "elements/slicekit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::core {
+
+namespace {
+
+using elements::ElementContext;
+using elements::lam;
+using geom::Coord;
+using geom::Rect;
+
+/// Build a power trunk column: a vertical strip connecting one rail kind
+/// of every slice row, with a supply-pad bristle. `gnd` selects which
+/// rail the stubs reach.
+cell::Cell* buildTrunk(cell::CellLibrary& lib, const std::string& name, bool gnd,
+                       Coord slicePitch, int rows, Coord gndY1, Coord vddY0, Coord vddY1) {
+  cell::Cell* c = lib.create(name);
+  const Coord w = lam(8);
+  const Coord h = slicePitch * rows;
+  using tech::Layer;
+  if (gnd) {
+    // Strip on the west, stubs east to each GND rail.
+    c->addRect(Layer::Metal, Rect{lam(1), 0, lam(5), h});
+    for (int r = 0; r < rows; ++r) {
+      const Coord y = slicePitch * r;
+      c->addRect(Layer::Metal, Rect{lam(1), y, w, y + gndY1});
+    }
+  } else {
+    // Strip on the east, stubs west to each Vdd rail.
+    c->addRect(Layer::Metal, Rect{lam(3), 0, lam(7), h});
+    for (int r = 0; r < rows; ++r) {
+      const Coord y = slicePitch * r;
+      c->addRect(Layer::Metal, Rect{0, y + vddY0, lam(7), y + vddY1});
+    }
+  }
+  cell::Bristle b;
+  b.name = gnd ? "gnd" : "vdd";
+  b.flavor = gnd ? cell::BristleFlavor::PadGnd : cell::BristleFlavor::PadVdd;
+  b.side = cell::Side::South;
+  b.pos = {gnd ? lam(3) : lam(5), 0};
+  b.layer = Layer::Metal;
+  b.width = lam(4);
+  b.net = b.name;
+  c->addBristle(std::move(b));
+  c->setBoundary(Rect{0, 0, w, h});
+  c->setDoc(gnd ? "GND trunk column" : "Vdd trunk column");
+  return c;
+}
+
+}  // namespace
+
+bool runPass1(CompiledChip& chip, const std::vector<icl::ElementDecl>& decls,
+              const Pass1Options& opts, icl::DiagnosticList& diags) {
+  ElementContext ctx;
+  ctx.dataWidth = chip.desc.dataWidth;
+  ctx.busCount = static_cast<int>(chip.desc.buses.size());
+  ctx.microcode = &chip.desc.microcode;
+  ctx.lib = &chip.lib;
+
+  // --- instantiate the generators ---------------------------------------
+  std::vector<std::unique_ptr<elements::Element>> gens;
+  for (const icl::ElementDecl& d : decls) {
+    auto e = elements::makeElement(d, chip.desc, diags);
+    if (e != nullptr) gens.push_back(std::move(e));
+  }
+  if (diags.hasErrors()) return false;
+  if (gens.empty()) {
+    diags.error({}, "the core element list is empty");
+    return false;
+  }
+
+  // --- step 1+2: vote, find the widest cell ------------------------------
+  elements::ParameterBallot ballot;
+  for (const auto& g : gens) {
+    g->vote(ballot, ctx);
+    // Power estimate vote: generation will refine it; the rail width must
+    // be fixed before cells are produced, so vote the natural pitch's
+    // worst case — one depletion load per kit unit is a safe ceiling;
+    // elements with exact knowledge could vote tighter.
+    ballot.voteSum("power_ua",
+                   static_cast<double>(ctx.dataWidth) * tech::electrical().pullup_current_ua);
+  }
+  const Coord naturalMax = ballot.maxOf("pitch", elements::contract().naturalPitch);
+  chip.stats.naturalPitchMax = naturalMax;
+  ctx.pitch = naturalMax;
+
+  // Rail widening from the power vote: rails default to 4L; every extra
+  // milliamp beyond the 4L capacity stretches both rails.
+  const double totalUa = ballot.sumOf("power_ua");
+  const double capacityUa = opts.railCapacityUaPerLambda * 4.0;
+  Coord widen = 0;
+  if (totalUa > capacityUa) {
+    widen = lam(static_cast<Coord>(
+        std::ceil((totalUa - capacityUa) / opts.railCapacityUaPerLambda)));
+  }
+  ctx.railWiden = widen;
+  chip.stats.powerRailWidth = lam(4) + widen;
+  const Coord slicePitch = ctx.pitch + 2 * widen;  // final stacked pitch
+  chip.stats.pitch = slicePitch;
+
+  // --- step 3+4: execute elements, manage bus segments -------------------
+  struct Column {
+    cell::Cell* cell;
+    std::string name;
+    std::string kind;
+    std::vector<elements::ControlLine> controls;
+    bool usesBus[2];
+  };
+  std::vector<Column> columns;
+  int segment[2] = {1, 1};
+  auto segPrefix = [&](int bus) {
+    const std::string base = bus == 0 ? "busA" : "busB";
+    return segment[bus] == 1 ? base : base + "#" + std::to_string(segment[bus]);
+  };
+
+  auto insertPrecharge = [&](bool busA, bool busB) {
+    const std::string pname = "pre" + std::to_string(chip.stats.prechargeColumns++);
+    elements::PrechargeResult pr = elements::buildPrechargeColumn(ctx, pname, busA, busB);
+    Column col{pr.column, pname, "precharge", {pr.control}, {busA, busB}};
+    columns.push_back(std::move(col));
+    if (busA) elements::emitPrechargeLogic(chip.logic, pr.control.name, ctx.busPrefix[0],
+                                           ctx.dataWidth);
+    if (busB) elements::emitPrechargeLogic(chip.logic, pr.control.name, ctx.busPrefix[1],
+                                           ctx.dataWidth);
+  };
+
+  // A fresh segment starts at the head of the core for both buses.
+  insertPrecharge(true, ctx.busCount > 1);
+
+  std::size_t gi = 0;
+  for (const auto& g : gens) {
+    (void)gi;
+    elements::GeneratedElement ge = g->generate(ctx);
+    if (ge.column == nullptr) {
+      diags.error({}, "element '" + g->name() + "' produced no column");
+      return false;
+    }
+    g->emitLogic(chip.logic, ctx);
+    columns.push_back(Column{ge.column, g->name(), std::string(g->kind()), ge.controls,
+                             {ge.usesBus[0], ge.usesBus[1]}});
+    chip.stats.power_ua += ge.power_ua;
+    // A bus stop ends the segment; the next element sees a fresh bus.
+    for (int b = 0; b < 2; ++b) {
+      if (ge.stopsBus[b]) {
+        ++segment[b];
+        ++chip.stats.busSegments[b];
+        ctx.busPrefix[b] = segPrefix(b);
+        insertPrecharge(b == 0, b == 1);
+      }
+    }
+    ++gi;
+  }
+
+  // --- step 5: abut columns into the core cell ---------------------------
+  chip.core = chip.lib.create("core");
+  Coord x = 0;
+  // West GND trunk.
+  cell::Cell* gndTrunk =
+      buildTrunk(chip.lib, "gnd_trunk", true, slicePitch, ctx.dataWidth,
+                 elements::contract().gndY1 + widen,
+                 elements::contract().vddY0(ctx.pitch) + widen,
+                 elements::contract().vddY1(ctx.pitch) + 2 * widen);
+  chip.core->addInstance(gndTrunk, geom::Transform::translate({x, 0}), "gnd_trunk");
+  for (const cell::Bristle& b : gndTrunk->bristles()) {
+    cell::Bristle nb = b;
+    nb.pos += geom::Point{x, 0};
+    chip.core->addBristle(std::move(nb));
+  }
+  x += gndTrunk->width();
+
+  for (Column& col : columns) {
+    chip.core->addInstance(col.cell, geom::Transform::translate({x, 0}), col.name);
+    PlacedElement pe;
+    pe.name = col.name;
+    pe.kind = col.kind;
+    pe.column = col.cell;
+    pe.x = x;
+    pe.usesBus[0] = col.usesBus[0];
+    pe.usesBus[1] = col.usesBus[1];
+    for (elements::ControlLine cl : col.controls) {
+      cl.xOffset += x;  // absolute within the core
+      pe.controls.push_back(cl);
+      chip.controls.push_back(cl);
+    }
+    // Re-expose pad-request bristles at core level (absolute coords).
+    for (const cell::Bristle& b : col.cell->bristles()) {
+      if (cell::isPadRequest(b.flavor)) {
+        cell::Bristle nb = b;
+        nb.pos += geom::Point{x, 0};
+        chip.core->addBristle(std::move(nb));
+      }
+    }
+    chip.placed.push_back(std::move(pe));
+    x += col.cell->width();
+  }
+
+  // East Vdd trunk.
+  cell::Cell* vddTrunk =
+      buildTrunk(chip.lib, "vdd_trunk", false, slicePitch, ctx.dataWidth,
+                 elements::contract().gndY1 + widen,
+                 elements::contract().vddY0(ctx.pitch) + widen,
+                 elements::contract().vddY1(ctx.pitch) + 2 * widen);
+  chip.core->addInstance(vddTrunk, geom::Transform::translate({x, 0}), "vdd_trunk");
+  for (const cell::Bristle& b : vddTrunk->bristles()) {
+    cell::Bristle nb = b;
+    nb.pos += geom::Point{x, 0};
+    chip.core->addBristle(std::move(nb));
+  }
+  x += vddTrunk->width();
+
+  const Coord coreH = slicePitch * ctx.dataWidth;
+  chip.core->setBoundary(Rect{0, 0, x, coreH});
+  chip.core->setDoc("chip core: " + std::to_string(columns.size()) + " columns at pitch " +
+                    std::to_string(slicePitch / geom::kUnitsPerLambda) + "L");
+  chip.stats.coreWidth = x;
+  chip.stats.coreHeight = coreH;
+  chip.stats.coreArea = x * coreH;
+  chip.stats.controlCount = chip.controls.size();
+  return true;
+}
+
+}  // namespace bb::core

@@ -1,0 +1,37 @@
+/// \file pass1_core.hpp
+/// Pass 1 — the core pass. "The core pass takes both the user's input and
+/// low level cell definitions to construct the core of the machine."
+///
+/// Steps, exactly as the paper describes:
+///   1. all elements vote on the values of global parameters;
+///   2. each element reports the width (pitch) of its cells; the widest
+///      is known when the end of the core list is reached;
+///   3. each element is executed in turn, producing its cell hierarchy,
+///      with every cell stretched to the common pitch (and supply rails
+///      widened to carry the voted power demand);
+///   4. bus breaks/stops are honoured and a precharge column is inserted
+///      at the head of every bus segment — details the user never states;
+///   5. the columns are abutted into the core cell, with power trunk
+///      columns at the two ends.
+
+#pragma once
+
+#include "core/chip.hpp"
+#include "icl/eval.hpp"
+
+#include <memory>
+
+namespace bb::core {
+
+struct Pass1Options {
+  /// Metal current capacity, uA per lambda of rail width (sets widening).
+  double railCapacityUaPerLambda = 1000.0;
+};
+
+/// Run Pass 1 for the already-assembled element list. Results land in
+/// `chip` (core cell, placed elements, controls, logic fragments, stats).
+/// Returns false on diagnosed errors.
+bool runPass1(CompiledChip& chip, const std::vector<icl::ElementDecl>& decls,
+              const Pass1Options& opts, icl::DiagnosticList& diags);
+
+}  // namespace bb::core

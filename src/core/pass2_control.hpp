@@ -1,0 +1,29 @@
+/// \file pass2_control.hpp
+/// Pass 2 — control design. "Given the results of the core pass, the
+/// control design and layout proceeds": control buffers are inserted
+/// along the core's edge (adding timing), the text array of decode
+/// functions is built, and the two-tape machine generates and optimizes
+/// the instruction decoder, creating pad connections for its inputs.
+
+#pragma once
+
+#include "core/chip.hpp"
+
+namespace bb::core {
+
+struct Pass2Options {
+  /// Run the optimizer passes of the two-tape machine (ablation switch).
+  bool optimizeDecoder = true;
+};
+
+bool runPass2(CompiledChip& chip, const Pass2Options& opts, icl::DiagnosticList& diags);
+
+/// Geometry constants of the rendered PLA (shared with benches/tests).
+struct PlaGeometry {
+  geom::Coord colW = geom::lambda(14);   ///< crosspoint column width
+  geom::Coord rowH = geom::lambda(26);   ///< term row height
+  geom::Coord chanPitch = geom::lambda(8);  ///< routing channel track pitch
+};
+[[nodiscard]] const PlaGeometry& plaGeometry() noexcept;
+
+}  // namespace bb::core

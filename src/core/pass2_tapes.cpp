@@ -1,0 +1,65 @@
+#include "core/pass2_tapes.hpp"
+
+namespace bb::core {
+
+TwoTapeMachine::TwoTapeMachine(std::vector<TextArrayEntry> textArray,
+                               const icl::MicrocodeDecl& mc)
+    : tape1_(std::move(textArray)), mc_(mc) {}
+
+bool TwoTapeMachine::run(icl::DiagnosticList& diags) {
+  stats_.inputEntries = tape1_.size();
+  pla_ = Pla(mc_.width, static_cast<int>(tape1_.size()));
+
+  // --- pass 1 over tape one: compile every decode function --------------
+  bool ok = true;
+  for (std::size_t i = 0; i < tape1_.size(); ++i) {
+    ++stats_.headMoves;
+    icl::DiagnosticList local;
+    const icl::SumOfProducts sop = icl::compileDecode(tape1_[i].decode, mc_, local);
+    if (local.hasErrors()) {
+      diags.error({}, "control '" + tape1_[i].control + "': " + local.all().front().message);
+      ok = false;
+      continue;
+    }
+    stats_.rawCubes += sop.cubes.size();
+    for (const icl::Cube& c : sop.cubes) pla_.addCube(static_cast<int>(i), c);
+  }
+  stats_.sharedTerms = pla_.termCount();
+
+  // --- rewind, optimization passes over the work tape -------------------
+  stats_.headMoves += static_cast<long long>(tape1_.size());  // rewind
+  int merges = 1;
+  while (merges > 0) {
+    merges = pla_.optimize();
+    ++stats_.mergePasses;
+    stats_.headMoves += static_cast<long long>(pla_.termCount());
+  }
+  stats_.finalTerms = pla_.termCount();
+
+  // --- write tape two: the silicon code ----------------------------------
+  emit(SilOp::Header, mc_.width, static_cast<int>(tape1_.size()));
+  for (int b = 0; b < mc_.width; ++b) {
+    emit(SilOp::InputCol, b);
+    emit(SilOp::PadConn, b);  // "created pad connections for the inputs"
+  }
+  for (std::size_t t = 0; t < pla_.termCount(); ++t) {
+    emit(SilOp::Term, static_cast<int>(t));
+    const icl::Cube& c = pla_.terms()[t];
+    for (std::size_t bit = 0; bit < c.bits.size(); ++bit) {
+      if (c.bits[bit] >= 0) {
+        emit(SilOp::CrossAnd, static_cast<int>(bit), c.bits[bit]);
+      }
+    }
+    emit(SilOp::TermLoad, static_cast<int>(t));
+  }
+  for (std::size_t o = 0; o < pla_.outputs().size(); ++o) {
+    emit(SilOp::OutputCol, static_cast<int>(o));
+    for (int t : pla_.outputs()[o]) {
+      emit(SilOp::CrossOr, t, static_cast<int>(o));
+    }
+  }
+  emit(SilOp::End);
+  return ok;
+}
+
+}  // namespace bb::core

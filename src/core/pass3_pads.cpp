@@ -1,0 +1,237 @@
+#include "core/pass3_pads.hpp"
+
+#include "core/pass2_control.hpp"
+#include "elements/pads.hpp"
+#include "elements/slicekit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::core {
+
+namespace {
+
+using elements::lam;
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+using tech::Layer;
+
+/// A connection point awaiting a pad.
+struct PadRequest {
+  cell::Bristle bristle;  ///< position already in chip coordinates
+  elements::PadKind kind;
+};
+
+/// One slot on the pad ring.
+struct Slot {
+  Point center;      ///< pad cell center
+  cell::Side side;   ///< which chip edge
+  Point pin;         ///< pin position (inner edge midpoint)
+};
+
+/// Clockwise angle from "north" around `c` (0 at top, increasing
+/// clockwise) — the paper's clockwise sort key.
+double clockwiseKey(Point p, Point c) {
+  const double dx = static_cast<double>(p.x - c.x);
+  const double dy = static_cast<double>(p.y - c.y);
+  double a = std::atan2(dx, dy);  // 0 at north, positive toward east
+  if (a < 0) a += 2 * 3.14159265358979323846;
+  return a;
+}
+
+geom::Orientation padOrient(cell::Side side) {
+  switch (side) {
+    case cell::Side::North: return geom::Orientation::R180;  // pin faces south
+    case cell::Side::East: return geom::Orientation::R90;    // pin faces west
+    case cell::Side::South: return geom::Orientation::R0;    // pin faces north
+    case cell::Side::West: return geom::Orientation::R270;   // pin faces east
+  }
+  return geom::Orientation::R0;
+}
+
+}  // namespace
+
+bool runPass3(CompiledChip& chip, const Pass3Options& opts, icl::DiagnosticList& diags) {
+  // --- assemble the floorplan into the top cell --------------------------
+  chip.top = chip.lib.create(chip.desc.name);
+  const Coord coreH = chip.stats.coreHeight;
+  const Coord bufH = chip.bufferRow->height();
+  const std::size_t nCtl = chip.controls.size();
+  const Coord chanH =
+      static_cast<Coord>(nCtl) * plaGeometry().chanPitch + lam(8);
+  const Coord decY = coreH + bufH + chanH;
+  const Coord decX = 0;
+
+  chip.top->addInstance(chip.core, geom::Transform::translate({0, 0}), "core");
+  chip.top->addInstance(chip.bufferRow, geom::Transform::translate({0, coreH}), "buffers");
+  chip.top->addInstance(chip.decoder, geom::Transform::translate({decX, decY}), "decoder");
+
+  // --- routing channel: decoder outputs down to the buffers --------------
+  // Verticals run in poly (crossing the metal tracks harmlessly); each
+  // control gets one metal track.
+  for (std::size_t i = 0; i < nCtl; ++i) {
+    // Output column x within the decoder: mirror of pass2's renderer.
+    const Coord xp = decX + chip.decoder->boundary().width() -
+                     (static_cast<Coord>(nCtl - i)) * plaGeometry().colW - plaGeometry().colW +
+                     lam(1);
+    const Coord xb = chip.controls[i].xOffset;
+    const Coord trackY = coreH + bufH + lam(4) + static_cast<Coord>(i) * plaGeometry().chanPitch;
+    // Poly drop from the decoder's south edge.
+    chip.top->addRect(Layer::Poly, Rect{xp, trackY, xp + lam(2), decY});
+    chip.top->addRect(Layer::Poly, Rect{xp - lam(1), trackY - lam(1), xp + lam(3), trackY + lam(3)});
+    chip.top->addRect(Layer::Metal,
+                      Rect{xp - lam(1), trackY - lam(1), xp + lam(3), trackY + lam(3)});
+    chip.top->addRect(Layer::Contact, Rect{xp, trackY, xp + lam(2), trackY + lam(2)});
+    // Metal track.
+    const Coord tx0 = std::min(xp - lam(1), xb - lam(1));
+    const Coord tx1 = std::max(xp + lam(3), xb + lam(3));
+    chip.top->addRect(Layer::Metal, Rect{tx0, trackY - lam(1), tx1, trackY + lam(2)});
+    // Contact + poly drop to the buffer's decode input.
+    chip.top->addRect(Layer::Metal, Rect{xb - lam(2), trackY - lam(1), xb + lam(2), trackY + lam(3)});
+    chip.top->addRect(Layer::Poly, Rect{xb - lam(2), trackY - lam(1), xb + lam(2), trackY + lam(3)});
+    chip.top->addRect(Layer::Contact, Rect{xb - lam(1), trackY, xb + lam(1), trackY + lam(2)});
+    chip.top->addRect(Layer::Poly, Rect{xb - lam(1), coreH + bufH, xb + lam(1), trackY});
+  }
+
+  // --- collect the connection points -------------------------------------
+  std::vector<PadRequest> reqs;
+  auto collect = [&](const cell::Cell* c, Point at) {
+    for (const cell::Bristle& b : c->bristles()) {
+      if (!cell::isPadRequest(b.flavor)) continue;
+      PadRequest r;
+      r.bristle = b;
+      r.bristle.pos += at;
+      r.kind = elements::padKindForFlavor(b.flavor);
+      reqs.push_back(std::move(r));
+    }
+  };
+  collect(chip.core, {0, 0});
+  collect(chip.bufferRow, {0, coreH});
+  collect(chip.decoder, {decX, decY});
+  if (reqs.empty()) {
+    diags.error({}, "no pad connection points found (no ports, clocks or supplies?)");
+    return false;
+  }
+
+  // --- ring geometry -------------------------------------------------------
+  const Coord blockW = std::max(chip.stats.coreWidth, chip.decoder->boundary().width());
+  const Coord blockH = decY + chip.decoder->boundary().height();
+  const Rect block{0, 0, blockW, blockH};
+  const Coord gap = lam(opts.ringGapLambda);
+  const Coord padS = elements::padSize();
+  // Pad centers sit on this rectangle.
+  const Rect ring = block.expanded(gap + padS / 2);
+  const Point center = block.center();
+
+  const std::size_t n = reqs.size();
+  // Slot positions: clockwise from the north-west corner.
+  const Coord perim = 2 * (ring.width() + ring.height());
+  std::vector<Slot> slots(n);
+  const Coord minPitch = padS + lam(10);
+  for (std::size_t i = 0; i < n; ++i) {
+    Coord s;
+    if (opts.evenSpacing) {
+      s = static_cast<Coord>(static_cast<double>(perim) * static_cast<double>(i) /
+                             static_cast<double>(n));
+    } else {
+      s = static_cast<Coord>(i) * minPitch;  // packed from the corner
+      s = s % perim;
+    }
+    Slot& sl = slots[i];
+    if (s < ring.width()) {
+      sl.side = cell::Side::North;
+      sl.center = {ring.x0 + s, ring.y1};
+    } else if (s < ring.width() + ring.height()) {
+      sl.side = cell::Side::East;
+      sl.center = {ring.x1, ring.y1 - (s - ring.width())};
+    } else if (s < 2 * ring.width() + ring.height()) {
+      sl.side = cell::Side::South;
+      sl.center = {ring.x1 - (s - ring.width() - ring.height()), ring.y0};
+    } else {
+      sl.side = cell::Side::West;
+      sl.center = {ring.x0, ring.y0 + (s - 2 * ring.width() - ring.height())};
+    }
+    switch (sl.side) {
+      case cell::Side::North: sl.pin = {sl.center.x, sl.center.y - padS / 2}; break;
+      case cell::Side::East: sl.pin = {sl.center.x - padS / 2, sl.center.y}; break;
+      case cell::Side::South: sl.pin = {sl.center.x, sl.center.y + padS / 2}; break;
+      case cell::Side::West: sl.pin = {sl.center.x + padS / 2, sl.center.y}; break;
+    }
+  }
+
+  // --- clockwise sort of the connection points ---------------------------
+  std::sort(reqs.begin(), reqs.end(), [&](const PadRequest& a, const PadRequest& b) {
+    return clockwiseKey(a.bristle.pos, center) < clockwiseKey(b.bristle.pos, center);
+  });
+
+  // --- Roto-Router: rotate the allocation to minimize wire length --------
+  std::size_t bestRot = 0;
+  Coord bestLen = 0;
+  const std::size_t rotations = opts.rotoRouter ? n : 1;
+  for (std::size_t r = 0; r < rotations; ++r) {
+    Coord len = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      len += geom::manhattan(slots[(i + r) % n].pin, reqs[i].bristle.pos);
+    }
+    if (r == 0 || len < bestLen) {
+      bestLen = len;
+      bestRot = r;
+    }
+  }
+
+  // --- place pads, route wires -------------------------------------------
+  Coord totalWire = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Slot& sl = slots[(i + bestRot) % n];
+    cell::Cell* pc = elements::padCell(chip.lib, reqs[i].kind);
+    const geom::Orientation o = padOrient(sl.side);
+    // Pad cell local center is (padS/2, padS/2); place so its center
+    // lands on the slot center.
+    const Point halfT = geom::apply(o, Point{padS / 2, padS / 2});
+    chip.top->addInstance(pc, geom::Transform{o, sl.center - halfT},
+                          "pad:" + reqs[i].bristle.name);
+    // L-shaped wire: from the pin, run perpendicular to the edge first,
+    // then along to the target.
+    const Point pin = sl.pin;
+    const Point tgt = reqs[i].bristle.pos;
+    const Coord w = lam(3);
+    geom::Path path;
+    path.width = w;
+    if (sl.side == cell::Side::North || sl.side == cell::Side::South) {
+      path.pts = {pin, Point{pin.x, tgt.y}, tgt};
+    } else {
+      path.pts = {pin, Point{tgt.x, pin.y}, tgt};
+    }
+    chip.top->addPath(Layer::Metal, path);
+    const Coord len = path.length();
+    totalWire += len;
+
+    PadPlacement pp;
+    pp.name = reqs[i].bristle.name;
+    pp.padCellName = pc->name();
+    pp.side = sl.side;
+    pp.pinAt = pin;
+    pp.target = tgt;
+    pp.wireLength = len;
+    chip.pads.push_back(std::move(pp));
+
+    elements::emitPadLogic(chip.logic, reqs[i].kind, reqs[i].bristle.name,
+                           reqs[i].bristle.net.empty() ? reqs[i].bristle.name
+                                                       : reqs[i].bristle.net);
+  }
+
+  // --- die boundary + stats ------------------------------------------------
+  const Rect die = ring.expanded(padS / 2 + lam(6));
+  chip.top->setBoundary(die);
+  chip.top->setDoc("compiled chip '" + chip.desc.name + "'");
+  chip.stats.padCount = n;
+  chip.stats.padWireLength = totalWire;
+  chip.stats.dieWidth = die.width();
+  chip.stats.dieHeight = die.height();
+  chip.stats.dieArea = die.area();
+  chip.stats.padRingArea = die.area() - block.expanded(gap).area();
+  return true;
+}
+
+}  // namespace bb::core

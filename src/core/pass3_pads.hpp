@@ -1,0 +1,36 @@
+/// \file pass3_pads.hpp
+/// Pass 3 — the pad pass. "The pad layout pass begins by collecting all
+/// of the connection points which need to be connected to pads. These
+/// connection points are sorted in clockwise order, and pads are
+/// allocated in the same order. The pads and connection points are
+/// examined by a Roto-Router, which rotates the pads around the
+/// perimeter of the chip in an attempt to minimize the length of wire
+/// between pads and connection points. The Roto-Router spaces the pads
+/// evenly around the chip to avoid generating pad layouts that would be
+/// difficult to bond. The third pass concludes by adding wires between
+/// the pads and the connection points."
+///
+/// This pass also assembles the final floorplan (core, buffer row,
+/// routing channel, decoder) into the top cell before ringing it with
+/// pads.
+
+#pragma once
+
+#include "core/chip.hpp"
+
+namespace bb::core {
+
+struct Pass3Options {
+  /// Enable the Roto-Router rotation search (ablation: off = pads are
+  /// allocated in clockwise order starting at slot 0, unrotated).
+  bool rotoRouter = true;
+  /// Space pads evenly around the perimeter (ablation: off = pads pack
+  /// from the north-west corner at minimum bondable spacing).
+  bool evenSpacing = true;
+  /// Clearance between the core block and the pad ring, in lambda.
+  geom::Coord ringGapLambda = 40;
+};
+
+bool runPass3(CompiledChip& chip, const Pass3Options& opts, icl::DiagnosticList& diags);
+
+}  // namespace bb::core

@@ -1,0 +1,139 @@
+#include "core/pla.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bb::core {
+
+void Pla::addCube(int out, const icl::Cube& cube) {
+  int idx = -1;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (terms_[i] == cube) {
+      idx = static_cast<int>(i);
+      break;
+    }
+  }
+  if (idx < 0) {
+    idx = static_cast<int>(terms_.size());
+    terms_.push_back(cube);
+  }
+  auto& list = outputs_[static_cast<std::size_t>(out)];
+  if (std::find(list.begin(), list.end(), idx) == list.end()) list.push_back(idx);
+}
+
+void Pla::addCubePrivate(int out, const icl::Cube& cube) {
+  const int idx = static_cast<int>(terms_.size());
+  terms_.push_back(cube);
+  outputs_[static_cast<std::size_t>(out)].push_back(idx);
+}
+
+namespace {
+/// True if cubes differ in exactly one position where both care, and
+/// agree everywhere else (the classic adjacency condition).
+bool adjacent(const icl::Cube& a, const icl::Cube& b, int& diffBit) {
+  diffBit = -1;
+  for (std::size_t i = 0; i < a.bits.size(); ++i) {
+    if (a.bits[i] == b.bits[i]) continue;
+    if (a.bits[i] < 0 || b.bits[i] < 0) return false;  // care vs don't-care
+    if (diffBit >= 0) return false;                    // second difference
+    diffBit = static_cast<int>(i);
+  }
+  return diffBit >= 0;
+}
+}  // namespace
+
+int Pla::optimize() {
+  int totalMerges = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Output set per term (sorted) for the identical-driver condition.
+    std::vector<std::vector<int>> drivers(terms_.size());
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+      for (int t : outputs_[o]) drivers[static_cast<std::size_t>(t)].push_back(static_cast<int>(o));
+    }
+    for (std::size_t i = 0; i < terms_.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < terms_.size() && !changed; ++j) {
+        if (drivers[i] != drivers[j]) continue;
+        int bit = -1;
+        if (!adjacent(terms_[i], terms_[j], bit)) continue;
+        // Merge j into i: the differing bit becomes don't-care.
+        terms_[i].bits[static_cast<std::size_t>(bit)] = -1;
+        // Drop term j, remap references.
+        terms_.erase(terms_.begin() + static_cast<std::ptrdiff_t>(j));
+        for (auto& list : outputs_) {
+          std::erase_if(list, [&](int t) { return t == static_cast<int>(j); });
+          for (int& t : list) {
+            if (t > static_cast<int>(j)) --t;
+          }
+        }
+        ++totalMerges;
+        changed = true;
+      }
+    }
+    // Also collapse duplicate terms that merging may have created.
+    for (std::size_t i = 0; i < terms_.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < terms_.size() && !changed; ++j) {
+        if (!(terms_[i] == terms_[j])) continue;
+        for (auto& list : outputs_) {
+          bool hasI = std::find(list.begin(), list.end(), static_cast<int>(i)) != list.end();
+          bool hasJ = std::find(list.begin(), list.end(), static_cast<int>(j)) != list.end();
+          std::erase_if(list, [&](int t) { return t == static_cast<int>(j); });
+          if (hasJ && !hasI) list.push_back(static_cast<int>(i));
+          for (int& t : list) {
+            if (t > static_cast<int>(j)) --t;
+          }
+        }
+        terms_.erase(terms_.begin() + static_cast<std::ptrdiff_t>(j));
+        ++totalMerges;
+        changed = true;
+      }
+    }
+  }
+  return totalMerges;
+}
+
+std::size_t Pla::literalCount() const noexcept {
+  std::size_t n = 0;
+  for (const icl::Cube& c : terms_) n += static_cast<std::size_t>(c.literals());
+  return n;
+}
+
+std::size_t Pla::orPointCount() const noexcept {
+  std::size_t n = 0;
+  for (const auto& list : outputs_) n += list.size();
+  return n;
+}
+
+bool Pla::eval(int out, unsigned long long word) const noexcept {
+  for (int t : outputs_[static_cast<std::size_t>(out)]) {
+    if (terms_[static_cast<std::size_t>(t)].matches(word)) return true;
+  }
+  return false;
+}
+
+geom::Coord Pla::areaEstimate(geom::Coord cellW, geom::Coord rowH) const noexcept {
+  const geom::Coord cols = static_cast<geom::Coord>(2 * width_) +
+                           static_cast<geom::Coord>(outputs_.size()) + 3;  // trunks + loads
+  const geom::Coord rows = static_cast<geom::Coord>(terms_.size()) + 2;    // inverter rows
+  return cols * cellW * rows * rowH;
+}
+
+std::string Pla::toText() const {
+  std::ostringstream os;
+  os << "PLA: " << width_ << " inputs, " << terms_.size() << " terms, " << outputs_.size()
+     << " outputs, " << literalCount() << " AND literals, " << orPointCount() << " OR points\n";
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    os << "  t" << t << " = " << terms_[t].toString() << " ->";
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+      if (std::find(outputs_[o].begin(), outputs_[o].end(), static_cast<int>(t)) !=
+          outputs_[o].end()) {
+        os << " o" << o;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bb::core

@@ -1,0 +1,117 @@
+/// \file samples.hpp
+/// Canonical one-page chip descriptions, shared by tests, benches and
+/// examples. Each is a complete Bristle Blocks input: microcode format,
+/// data/bus section, and core element list.
+
+#pragma once
+
+#include <string>
+
+namespace bb::core::samples {
+
+/// A small accumulator machine: 2 registers, ALU, I/O — the "small chip"
+/// of the paper's timing claim.
+///
+/// Instruction set (op field):
+///   1 LOADRA   pads -> bus A -> RA
+///   2 LOADACC  pads -> bus A -> ACC (via ALU passa on the next STORE)
+///   3 OPERANDS pads -> bus A -> ALU.a; RA -> bus B -> ALU.b; compute
+///   4 STORE    ALU result -> bus A -> ACC
+///   5 OUT      ACC -> bus B -> output pads
+inline std::string smallChip(int dataWidth = 4) {
+  return R"(chip small;
+microcode width 8 {
+  field op   [0:2];
+  field sel  [3:3];
+  field misc [4:7];   # ALU operation select
+}
+data width )" + std::to_string(dataWidth) + R"(;
+buses A, B;
+core {
+  inport  IN   (bus = A, drive = "op==1 | op==2 | op==3");
+  register RA  (in = A, out = B, load = "op==1", drive = "op==3");
+  alu     ALU  (a = A, b = B, out = A, op = misc, ops = [add, and, or, passa],
+                load = "op==3", drive = "op==4");
+  register ACC (in = A, out = B, load = "op==4", drive = "op==5");
+  outport OUT  (bus = B, sample = "op==5");
+}
+)";
+}
+
+/// A "fairly large" chip: register file, two working registers, ALU,
+/// shifter, constants and both ports.
+inline std::string largeChip(int dataWidth = 16, int regs = 8) {
+  return R"(chip large;
+var PROTOTYPE = false;
+microcode width 16 {
+  field op    [0:3];
+  field rsel  [4:7];
+  field aluop [8:10];
+  field shc   [11:11];
+  field misc  [12:15];
+}
+data width )" + std::to_string(dataWidth) + R"(;
+buses A, B;
+core {
+  inport  IN   (bus = A, drive = "op==1 | op==2");
+  regfile RF   (n = )" + std::to_string(regs) + R"(, select = rsel, in = A, out = B,
+                write = "op==2", read = "op==3");
+  register T1  (in = A, out = B, load = "op==4", drive = "op==5");
+  register T2  (in = A, out = B, load = "op==6", drive = "op==7");
+  alu     ALU  (a = A, b = B, out = A, op = aluop,
+                ops = [add, sub, and, or, xor, passa],
+                load = "op==8", drive = "op==9");
+  shifter SH   (in = A, out = B, dist = 1, load = "op==10", drive = "op==11");
+  constant ONE (bus = B, value = 1, drive = "op==12");
+  outport OUT  (bus = B, sample = "op==13");
+  if PROTOTYPE {
+    probe PC   (bus = A, bit = 0);
+  }
+}
+)";
+}
+
+/// The conditional-assembly demo of the paper: a PROTOTYPE flag that
+/// routes internal state to pads on prototype chips only.
+inline std::string prototypeChip() {
+  return R"(chip proto;
+var PROTOTYPE = true;
+microcode width 8 {
+  field op [0:2];
+  field x  [3:7];
+}
+data width 8;
+buses A, B;
+core {
+  inport  IN  (bus = A, drive = "op==1");
+  register R0 (in = A, out = B, load = "op==2", drive = "op==3");
+  outport OUT (bus = B, sample = "op==3");
+  if PROTOTYPE {
+    probe P0 (bus = A, bit = 0);
+    probe P1 (bus = A, bit = 7);
+  }
+}
+)";
+}
+
+/// A chip exercising bus stops: the B bus is segmented in the middle.
+inline std::string segmentedChip(int dataWidth = 8) {
+  return R"(chip segmented;
+microcode width 8 {
+  field op [0:3];
+  field x  [4:7];
+}
+data width )" + std::to_string(dataWidth) + R"(;
+buses A, B;
+core {
+  inport  IN  (bus = A, drive = "op==1");
+  register R0 (in = A, out = B, load = "op==2", drive = "op==3");
+  outport O1  (bus = B, sample = "op==3");
+  busstop BS  (bus = B);
+  register R1 (in = A, out = B, load = "op==4", drive = "op==5");
+  outport O2  (bus = B, sample = "op==5");
+}
+)";
+}
+
+}  // namespace bb::core::samples

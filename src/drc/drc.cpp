@@ -1,0 +1,198 @@
+#include "drc/drc.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bb::drc {
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using tech::Layer;
+
+/// Gap between two disjoint rectangles (Chebyshev-style: the larger of the
+/// axis separations; 0 if they touch or overlap).
+Coord gapBetween(const Rect& a, const Rect& b) noexcept {
+  const Coord dx = std::max({a.x0 - b.x1, b.x0 - a.x1, Coord{0}});
+  const Coord dy = std::max({a.y0 - b.y1, b.y0 - a.y1, Coord{0}});
+  // Disjoint diagonally: Euclidean would be sqrt(dx^2+dy^2); the lambda
+  // rules treat diagonal separation with the max metric, which is the
+  // conservative Manhattan-grid convention.
+  return std::max(dx, dy);
+}
+
+bool touchesBoundary(const Rect& r, const Rect& boundary) noexcept {
+  return r.x0 <= boundary.x0 || r.x1 >= boundary.x1 || r.y0 <= boundary.y0 ||
+         r.y1 >= boundary.y1;
+}
+
+/// True if `r` is fully covered by the union of `cover`.
+bool coveredBy(const Rect& r, const std::vector<Rect>& cover) {
+  if (r.isEmpty()) return true;
+  std::vector<Rect> clipped;
+  for (const Rect& c : cover) {
+    if (auto i = c.intersectWith(r)) clipped.push_back(*i);
+  }
+  return geom::unionArea(std::move(clipped)) == r.area();
+}
+
+/// All poly-over-diffusion intersection regions (candidate gates).
+std::vector<Rect> gateRegions(const cell::FlatLayout& flat) {
+  std::vector<Rect> gates;
+  for (const Rect& p : flat.on(Layer::Poly)) {
+    for (const Rect& d : flat.on(Layer::Diffusion)) {
+      if (auto g = p.intersectWith(d)) gates.push_back(*g);
+    }
+  }
+  // Merge duplicates (several poly rects over one diff produce overlaps).
+  std::sort(gates.begin(), gates.end(), [](const Rect& a, const Rect& b) {
+    return std::tie(a.x0, a.y0, a.x1, a.y1) < std::tie(b.x0, b.y0, b.x1, b.y1);
+  });
+  gates.erase(std::unique(gates.begin(), gates.end()), gates.end());
+  return gates;
+}
+
+}  // namespace
+
+std::string DrcReport::summary() const {
+  std::ostringstream os;
+  os << violations.size() << " violation(s) over " << shapesChecked << " shapes";
+  for (std::size_t i = 0; i < violations.size() && i < 10; ++i) {
+    os << "\n  " << violations[i].rule << " at " << geom::toString(violations[i].where) << ": "
+       << violations[i].message;
+  }
+  if (violations.size() > 10) os << "\n  ...";
+  return os.str();
+}
+
+DrcReport checkFlat(const cell::FlatLayout& flat, const geom::Rect& boundary,
+                    const tech::RuleDeck& deck, const DrcOptions& opts) {
+  DrcReport rep;
+  rep.shapesChecked = flat.totalCount();
+
+  // --- width rules ----------------------------------------------------
+  // Generators emit every feature at legal width directly (wires carry
+  // their full width; rails are single rects), so the per-rect check is
+  // exact for compiler output and still catches genuinely thin features.
+  for (const tech::WidthRule& wr : deck.widths) {
+    for (const Rect& r : flat.on(wr.layer)) {
+      const Coord w = std::min(r.width(), r.height());
+      if (w < wr.min) {
+        // A thin rect fully inside a larger same-layer region is not a
+        // violation (e.g. the contact-surround pad overlapping a rail).
+        std::vector<Rect> others;
+        for (const Rect& o : flat.on(wr.layer)) {
+          if (o == r) continue;
+          others.push_back(o);
+        }
+        if (!coveredBy(r, others)) {
+          rep.violations.push_back({wr.name, wr.layer, wr.layer, r,
+                                    "feature " + std::to_string(w) + " < min width " +
+                                        std::to_string(wr.min)});
+        }
+      }
+    }
+  }
+
+  // --- spacing rules ----------------------------------------------------
+  for (const tech::SpacingRule& sr : deck.spacings) {
+    const auto& as = flat.on(sr.a);
+    const auto& bs = flat.on(sr.b);
+    const bool same = sr.a == sr.b;
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      for (std::size_t j = same ? i + 1 : 0; j < bs.size(); ++j) {
+        const Rect& ra = as[i];
+        const Rect& rb = bs[j];
+        if (ra.touches(rb)) continue;  // same feature / intentional crossing
+        const Coord gap = gapBetween(ra, rb);
+        if (gap >= sr.min) continue;
+        if (same) {
+          // Two disjoint pieces bridged by other material on the layer are
+          // one feature: skip if some rect touches both.
+          bool bridged = false;
+          for (const Rect& o : as) {
+            if (o == ra || o == rb) continue;
+            if (o.touches(ra) && o.touches(rb)) {
+              // Only a true bridge joins them; a rect that merely spans the
+              // gap region is enough for the lithography.
+              bridged = true;
+              break;
+            }
+          }
+          if (bridged) continue;
+        }
+        if (opts.boundaryConditions && touchesBoundary(ra, boundary) &&
+            touchesBoundary(rb, boundary)) {
+          continue;  // interface wiring; contract guarantees the far side
+        }
+        rep.violations.push_back({sr.name, sr.a, sr.b, ra.unionWith(rb),
+                                  "gap " + std::to_string(gap) + " < " + std::to_string(sr.min)});
+      }
+    }
+  }
+
+  // --- transistor construction ------------------------------------------
+  if (opts.checkTransistors) {
+    const auto& comp = deck.composite;
+    for (const Rect& g : gateRegions(flat)) {
+      // Poly must extend past the gate in its run direction, diffusion in
+      // the orthogonal one; accept either orientation.
+      const Rect extX{g.x0 - comp.polyGateExtension, g.y0, g.x1 + comp.polyGateExtension, g.y1};
+      const Rect extY{g.x0, g.y0 - comp.polyGateExtension, g.x1, g.y1 + comp.polyGateExtension};
+      const Rect dExtX{g.x0 - comp.diffGateExtension, g.y0, g.x1 + comp.diffGateExtension, g.y1};
+      const Rect dExtY{g.x0, g.y0 - comp.diffGateExtension, g.x1, g.y1 + comp.diffGateExtension};
+      const bool polyX = coveredBy(extX, flat.on(Layer::Poly));
+      const bool polyY = coveredBy(extY, flat.on(Layer::Poly));
+      const bool diffX = coveredBy(dExtX, flat.on(Layer::Diffusion));
+      const bool diffY = coveredBy(dExtY, flat.on(Layer::Diffusion));
+      const bool ok = (polyX && diffY) || (polyY && diffX);
+      if (!ok) {
+        // Buried contacts intentionally join poly and diffusion; their
+        // overlap is not a transistor.
+        bool buried = false;
+        for (const Rect& b : flat.on(Layer::Buried)) {
+          if (b.touches(g)) {
+            buried = true;
+            break;
+          }
+        }
+        if (!buried) {
+          rep.violations.push_back({"T.gate.ext", Layer::Poly, Layer::Diffusion, g,
+                                    "gate lacks 2-lambda poly/diff extensions"});
+        }
+      }
+    }
+  }
+
+  // --- contact construction ----------------------------------------------
+  if (opts.checkContacts) {
+    const auto& comp = deck.composite;
+    for (const Rect& cut : flat.on(Layer::Contact)) {
+      const Rect need = cut.expanded(comp.contactSurround);
+      const bool metalOk = coveredBy(need, flat.on(Layer::Metal));
+      const bool polyOk = coveredBy(need, flat.on(Layer::Poly));
+      const bool diffOk = coveredBy(need, flat.on(Layer::Diffusion));
+      if (!(metalOk && (polyOk || diffOk))) {
+        rep.violations.push_back({"C.surround.1", Layer::Contact, Layer::Metal, cut,
+                                  "cut not surrounded by metal and poly-or-diff"});
+      }
+    }
+    for (const Rect& b : flat.on(Layer::Buried)) {
+      const bool polyOk = coveredBy(b, flat.on(Layer::Poly));
+      const bool diffOk = coveredBy(b, flat.on(Layer::Diffusion));
+      if (!(polyOk && diffOk)) {
+        rep.violations.push_back({"C.buried", Layer::Buried, Layer::Poly, b,
+                                  "buried contact not covered by poly and diffusion"});
+      }
+    }
+  }
+
+  return rep;
+}
+
+DrcReport checkCell(const cell::Cell& c, const tech::RuleDeck& deck, const DrcOptions& opts) {
+  return checkFlat(cell::flatten(c), c.boundary(), deck, opts);
+}
+
+}  // namespace bb::drc

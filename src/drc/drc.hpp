@@ -1,0 +1,57 @@
+/// \file drc.hpp
+/// Lambda design-rule checker.
+///
+/// Bristle Blocks exploits hierarchy: because cells agree on a standard
+/// interface, design-rule checking can be performed on individual cells
+/// as they are designed, "rather than on fully instantiated artwork".
+/// The checker therefore runs on one cell's flattened artwork with the
+/// cell boundary as the abutment condition: geometry that reaches the
+/// boundary is interface wiring whose far side the contract guarantees.
+
+#pragma once
+
+#include "cell/cell.hpp"
+#include "cell/flatten.hpp"
+#include "tech/rules.hpp"
+
+#include <string>
+#include <vector>
+
+namespace bb::drc {
+
+/// One rule violation.
+struct Violation {
+  std::string rule;      ///< rule name, e.g. "S.metal.metal.3"
+  tech::Layer layerA;
+  tech::Layer layerB;    ///< == layerA for single-layer rules
+  geom::Rect where;      ///< approximate violation region
+  std::string message;
+};
+
+struct DrcOptions {
+  /// Skip spacing violations where both shapes touch the cell boundary —
+  /// the paper's per-cell boundary condition (the interface contract
+  /// guarantees what is on the far side).
+  bool boundaryConditions = true;
+  /// Check transistor extension rules (poly/diff 2-lambda overhang).
+  bool checkTransistors = true;
+  /// Check contact construction (cut covered by both connected layers).
+  bool checkContacts = true;
+};
+
+struct DrcReport {
+  std::vector<Violation> violations;
+  std::size_t shapesChecked = 0;
+  [[nodiscard]] bool clean() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Check one cell (flattening its hierarchy) against the deck.
+[[nodiscard]] DrcReport checkCell(const cell::Cell& c, const tech::RuleDeck& deck,
+                                  const DrcOptions& opts = {});
+
+/// Check pre-flattened artwork with an explicit abutment boundary.
+[[nodiscard]] DrcReport checkFlat(const cell::FlatLayout& flat, const geom::Rect& boundary,
+                                  const tech::RuleDeck& deck, const DrcOptions& opts = {});
+
+}  // namespace bb::drc

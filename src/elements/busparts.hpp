@@ -1,0 +1,24 @@
+/// \file busparts.hpp
+/// Compiler-inserted bus infrastructure cells (precharge columns).
+
+#pragma once
+
+#include "elements/element.hpp"
+
+namespace bb::elements {
+
+struct PrechargeResult {
+  cell::Cell* column = nullptr;
+  ControlLine control;  ///< the phi2-qualified precharge control line
+};
+
+/// Build a precharge column for the given buses at the common pitch.
+[[nodiscard]] PrechargeResult buildPrechargeColumn(const ElementContext& ctx,
+                                                   const std::string& name, bool busA,
+                                                   bool busB);
+
+/// Emit the precharge gates for one bus segment into the logic model.
+void emitPrechargeLogic(netlist::LogicModel& lm, const std::string& ctlName,
+                        const std::string& busPrefix, int dataWidth);
+
+}  // namespace bb::elements

@@ -1,0 +1,288 @@
+#include "elements/slicekit.hpp"
+
+#include <cassert>
+
+namespace bb::elements {
+
+namespace {
+using geom::Point;
+using geom::Rect;
+using tech::Layer;
+
+/// Static pull-up current of one depletion load (uA).
+double loadCurrent() { return tech::electrical().pullup_current_ua; }
+}  // namespace
+
+const SliceContract& contract() noexcept {
+  static const SliceContract c{};
+  return c;
+}
+
+SliceBuilder::SliceBuilder(cell::CellLibrary& lib, std::string name, Coord pitch)
+    : lib_(lib), cell_(lib.create(std::move(name))), pitch_(pitch) {
+  assert(pitch >= contract().naturalPitch);
+}
+
+Coord SliceBuilder::x0() const noexcept {
+  return static_cast<Coord>(units_) * contract().unitW;
+}
+
+Coord SliceBuilder::controlX(int idx) const noexcept {
+  return static_cast<Coord>(idx) * contract().unitW + lam(8);
+}
+
+Coord SliceBuilder::width() const noexcept {
+  return static_cast<Coord>(units_) * contract().unitW;
+}
+
+int SliceBuilder::addInv(bool railInput, bool outEast) {
+  const Coord x = x0();
+  cell::Cell& c = *cell_;
+  if (railInput) {
+    // Buried contact joins the west data rail to the input poly; the
+    // stored value sits on this gate's capacitance (dynamic storage).
+    c.addRect(Layer::Diffusion, Rect{x + lam(0), lam(23), x + lam(4), lam(27)});
+    c.addRect(Layer::Poly, Rect{x + lam(0), lam(23), x + lam(4), lam(27)});
+    c.addRect(Layer::Buried, Rect{x + lam(0), lam(23), x + lam(4), lam(27)});
+    c.addRect(Layer::Poly, Rect{x + lam(2), lam(25), x + lam(12), lam(27)});  // gate lead
+  } else {
+    c.addRect(Layer::Poly, Rect{x + lam(0), lam(25), x + lam(12), lam(27)});  // west poly in
+  }
+  // Pull-down / pull-up diffusion column.
+  c.addRect(Layer::Diffusion, Rect{x + lam(8), lam(2), x + lam(10), pitch_ - lam(4)});
+  // GND connection.
+  c.addRect(Layer::Diffusion, Rect{x + lam(7), lam(0), x + lam(11), lam(4)});
+  c.addRect(Layer::Contact, Rect{x + lam(8), lam(1), x + lam(10), lam(3)});
+  // Output node: diff pad, contact, metal strap to the depletion gate.
+  c.addRect(Layer::Diffusion, Rect{x + lam(7), lam(28), x + lam(11), lam(32)});
+  c.addRect(Layer::Contact, Rect{x + lam(8), lam(29), x + lam(10), lam(31)});
+  c.addRect(Layer::Metal, Rect{x + lam(3), lam(28), x + lam(11), lam(32)});
+  c.addRect(Layer::Metal, Rect{x + lam(3), lam(28), x + lam(7), lam(37)});
+  // Depletion pull-up: gate strapped to the output (load configuration).
+  c.addRect(Layer::Poly, Rect{x + lam(3), lam(33), x + lam(7), lam(37)});   // tab
+  c.addRect(Layer::Contact, Rect{x + lam(4), lam(34), x + lam(6), lam(36)});
+  c.addRect(Layer::Poly, Rect{x + lam(6), lam(33), x + lam(12), lam(35)});  // dep gate
+  c.addRect(Layer::Implant, Rect{x + lam(6), lam(31), x + lam(12), lam(37)});
+  // Vdd connection.
+  c.addRect(Layer::Diffusion,
+            Rect{x + lam(7), contract().vddY0(pitch_), x + lam(11), contract().vddY1(pitch_)});
+  c.addRect(Layer::Contact, Rect{x + lam(8), contract().vddY0(pitch_) + lam(1), x + lam(10),
+                                 contract().vddY0(pitch_) + lam(3)});
+  if (outEast) {
+    c.addRect(Layer::Metal, Rect{x + lam(11), lam(28), x + lam(16), lam(32)});
+  }
+  ++depletionLoads_;
+  cell_->addOwnPower(loadCurrent());
+  return units_++;
+}
+
+int SliceBuilder::addBusTap(BusTrack bus, bool flip, bool highRail) {
+  const Coord x = x0();
+  cell::Cell& c = *cell_;
+  const SliceContract& k = contract();
+  // Vertical control poly (full height, at the unit center).
+  c.addRect(Layer::Poly, Rect{x + lam(7), 0, x + lam(9), pitch_});
+  // Bus contact pad: metal pad covering the track, cut, diffusion pad.
+  // Taps are inset 2L from the unit edge so abutting columns keep the
+  // 3L diffusion spacing across the seam (interface contract).
+  const Coord padY0 = bus == BusTrack::A ? k.busAY0 - lam(1) : k.busBY0 - lam(1);
+  const Coord tx = flip ? x + lam(10) : x + lam(2);  // pad west x
+  c.addRect(Layer::Metal, Rect{tx, padY0, tx + lam(4), padY0 + lam(5)});
+  c.addRect(Layer::Contact, Rect{tx + lam(1), padY0 + lam(1), tx + lam(3), padY0 + lam(3)});
+  c.addRect(Layer::Diffusion, Rect{tx, padY0, tx + lam(4), padY0 + lam(4)});
+  // Rail and tap riser. A bus tap is always a column-boundary unit
+  // (first when unflipped, last when flipped), and rail y positions move
+  // under pitch stretching, so the rail is inset 2L at the column edge to
+  // keep the cross-seam diffusion spacing whatever the neighbour's
+  // stretch (interface contract).
+  const Coord railY0 = highRail ? lam(35) : k.railY0;
+  const Coord railY1 = highRail ? lam(37) : k.railY1;
+  const Coord rx0 = flip ? x : x + lam(2);
+  const Coord rx1 = flip ? x + lam(14) : x + lam(16);
+  c.addRect(Layer::Diffusion, Rect{rx0, railY0, rx1, railY1});
+  c.addRect(Layer::Diffusion, Rect{tx + lam(1), padY0, tx + lam(3), railY1});
+  return units_++;
+}
+
+int SliceBuilder::addPass() {
+  const Coord x = x0();
+  cell_->addRect(Layer::Poly, Rect{x + lam(7), 0, x + lam(9), pitch_});
+  cell_->addRect(Layer::Diffusion, Rect{x, contract().railY0, x + lam(16), contract().railY1});
+  return units_++;
+}
+
+int SliceBuilder::addM2D(bool railEast) {
+  const Coord x = x0();
+  cell::Cell& c = *cell_;
+  c.addRect(Layer::Metal, Rect{x, lam(28), x + lam(4), lam(32)});
+  c.addRect(Layer::Contact, Rect{x + lam(1), lam(29), x + lam(3), lam(31)});
+  c.addRect(Layer::Diffusion, Rect{x, lam(28), x + lam(4), lam(32)});
+  c.addRect(Layer::Diffusion, Rect{x + lam(1), lam(23), x + lam(3), lam(32)});
+  c.addRect(Layer::Diffusion,
+            Rect{x + lam(1), lam(23), x + (railEast ? lam(16) : lam(14)), lam(25)});
+  return units_++;
+}
+
+int SliceBuilder::addM2P() {
+  const Coord x = x0();
+  cell::Cell& c = *cell_;
+  c.addRect(Layer::Metal, Rect{x, lam(28), x + lam(4), lam(32)});
+  c.addRect(Layer::Contact, Rect{x + lam(1), lam(29), x + lam(3), lam(31)});
+  c.addRect(Layer::Poly, Rect{x, lam(28), x + lam(4), lam(32)});
+  c.addRect(Layer::Poly, Rect{x + lam(2), lam(31), x + lam(16), lam(33)});  // stub east
+  return units_++;
+}
+
+int SliceBuilder::addRailGate() {
+  const Coord x = x0();
+  cell::Cell& c = *cell_;
+  // Buried contact taps the west data rail onto poly.
+  c.addRect(Layer::Diffusion, Rect{x + lam(0), lam(23), x + lam(4), lam(27)});
+  c.addRect(Layer::Poly, Rect{x + lam(0), lam(23), x + lam(4), lam(27)});
+  c.addRect(Layer::Buried, Rect{x + lam(0), lam(23), x + lam(4), lam(27)});
+  c.addRect(Layer::Poly, Rect{x + lam(1), lam(25), x + lam(3), lam(33)});   // riser
+  c.addRect(Layer::Poly, Rect{x + lam(1), lam(31), x + lam(12), lam(33)});  // gate lead
+  // Rail2 (east) down to GND through the gated transistor.
+  c.addRect(Layer::Diffusion, Rect{x + lam(6), lam(35), x + lam(16), lam(37)});
+  c.addRect(Layer::Diffusion, Rect{x + lam(8), lam(2), x + lam(10), lam(37)});
+  c.addRect(Layer::Diffusion, Rect{x + lam(7), lam(0), x + lam(11), lam(4)});
+  c.addRect(Layer::Contact, Rect{x + lam(8), lam(1), x + lam(10), lam(3)});
+  return units_++;
+}
+
+int SliceBuilder::addPullStub() {
+  const Coord x = x0();
+  cell::Cell& c = *cell_;
+  // West data rail into pull-down to GND; gate fed from east poly stub.
+  c.addRect(Layer::Diffusion, Rect{x, contract().railY0, x + lam(8), contract().railY1});
+  c.addRect(Layer::Diffusion, Rect{x + lam(6), lam(2), x + lam(8), contract().railY1});
+  c.addRect(Layer::Diffusion, Rect{x + lam(5), lam(0), x + lam(9), lam(4)});
+  c.addRect(Layer::Contact, Rect{x + lam(6), lam(1), x + lam(8), lam(3)});
+  c.addRect(Layer::Poly, Rect{x + lam(2), lam(13), x + lam(13), lam(15)});  // gate
+  c.addRect(Layer::Poly, Rect{x + lam(9), lam(13), x + lam(11), lam(33)});  // riser
+  c.addRect(Layer::Poly, Rect{x + lam(9), lam(31), x + lam(16), lam(33)});  // stub east
+  return units_++;
+}
+
+int SliceBuilder::addPullVdd() {
+  const Coord x = x0();
+  cell::Cell& c = *cell_;
+  c.addRect(Layer::Diffusion, Rect{x, contract().railY0, x + lam(8), contract().railY1});
+  c.addRect(Layer::Diffusion, Rect{x + lam(6), lam(2), x + lam(8), contract().railY1});
+  c.addRect(Layer::Diffusion, Rect{x + lam(5), lam(0), x + lam(9), lam(4)});
+  c.addRect(Layer::Contact, Rect{x + lam(6), lam(1), x + lam(8), lam(3)});
+  c.addRect(Layer::Poly, Rect{x + lam(2), lam(13), x + lam(13), lam(15)});  // gate
+  // Gate riser tied to Vdd (always on).
+  c.addRect(Layer::Poly, Rect{x + lam(9), lam(13), x + lam(11), contract().vddY1(pitch_)});
+  c.addRect(Layer::Poly, Rect{x + lam(8), contract().vddY0(pitch_), x + lam(12),
+                              contract().vddY1(pitch_)});
+  c.addRect(Layer::Contact, Rect{x + lam(9), contract().vddY0(pitch_) + lam(1), x + lam(11),
+                                 contract().vddY0(pitch_) + lam(3)});
+  // The metal surround is provided by the Vdd rail itself.
+  return units_++;
+}
+
+int SliceBuilder::addPrecharge(bool busA, bool busB) {
+  const Coord x = x0();
+  cell::Cell& c = *cell_;
+  const SliceContract& k = contract();
+  // Vertical control poly (phi2) with a horizontal gate branch.
+  c.addRect(Layer::Poly, Rect{x + lam(7), 0, x + lam(9), pitch_});
+  c.addRect(Layer::Poly, Rect{x + lam(0), lam(25), x + lam(16), lam(27)});
+  auto riser = [&](Coord rx, Coord fromY) {
+    // rx = west edge of the 4L-wide pad column.
+    c.addRect(Layer::Metal, Rect{x + rx, fromY - lam(1), x + rx + lam(4), fromY + lam(4)});
+    c.addRect(Layer::Contact,
+              Rect{x + rx + lam(1), fromY, x + rx + lam(3), fromY + lam(2)});
+    c.addRect(Layer::Diffusion, Rect{x + rx, fromY - lam(1), x + rx + lam(4), fromY + lam(3)});
+    // Diffusion up to the Vdd connection.
+    c.addRect(Layer::Diffusion,
+              Rect{x + rx + lam(1), fromY, x + rx + lam(3), contract().vddY1(pitch_)});
+    c.addRect(Layer::Diffusion, Rect{x + rx, contract().vddY0(pitch_), x + rx + lam(4),
+                                     contract().vddY1(pitch_)});
+    c.addRect(Layer::Contact, Rect{x + rx + lam(1), contract().vddY0(pitch_) + lam(1),
+                                   x + rx + lam(3), contract().vddY0(pitch_) + lam(3)});
+  };
+  if (busA) riser(lam(1), k.busAY0);
+  if (busB) riser(lam(9), k.busBY0);
+  return units_++;
+}
+
+int SliceBuilder::addLane(Coord y0, Coord y1, bool stubWest) {
+  const Coord x = x0();
+  cell_->addRect(Layer::Poly, Rect{x + lam(7), y0, x + lam(9), y1});
+  if (stubWest) {
+    cell_->addRect(Layer::Poly, Rect{x, lam(31), x + lam(9), lam(33)});
+  }
+  return units_++;
+}
+
+int SliceBuilder::addSpacer(bool carryStub, bool carryRail) {
+  const Coord x = x0();
+  if (carryStub) {
+    cell_->addRect(Layer::Poly, Rect{x, lam(31), x + lam(16), lam(33)});
+  }
+  if (carryRail) {
+    cell_->addRect(Layer::Diffusion, Rect{x, contract().railY0, x + lam(16), contract().railY1});
+  }
+  return units_++;
+}
+
+cell::Cell* SliceBuilder::finish(bool drawBusA, bool drawBusB) {
+  const SliceContract& k = contract();
+  const Coord w = width();
+  cell::Cell& c = *cell_;
+  // Supply rails and bus tracks across the full slice.
+  c.addRect(Layer::Metal, Rect{0, k.gndY0, w, k.gndY1});
+  c.addRect(Layer::Metal, Rect{0, contract().vddY0(pitch_), w, contract().vddY1(pitch_)});
+  if (drawBusA) c.addRect(Layer::Metal, Rect{0, k.busAY0, w, k.busAY1});
+  if (drawBusB) c.addRect(Layer::Metal, Rect{0, k.busBY0, w, k.busBY1});
+  // The stretch corridor between bus region and logic, plus power-rail
+  // widening lines inside the rails.
+  // Widen lines sit 1 lambda inside a rail edge so contact cuts (which
+  // must stay 2 lambda) translate rather than stretch.
+  c.addStretch(cell::StretchAxis::Y, k.pitchStretchY, "pitch");
+  c.addStretch(cell::StretchAxis::Y, k.gndY1 - lam(1), "gnd-widen");
+  c.addStretch(cell::StretchAxis::Y, contract().vddY0(pitch_) + lam(1), "vdd-widen");
+  c.setBoundary(Rect{0, 0, w, pitch_});
+  return cell_;
+}
+
+Coord bufferRowHeight() noexcept { return lam(36); }
+
+/// Metal clock distribution lines inside the buffer row: phi1 at
+/// y [9,12]L, phi2 at y [17,20]L (drawn row-wide by Pass 2).
+Coord bufferClockLineY0(int phase) noexcept { return phase == 1 ? lam(9) : lam(17); }
+
+cell::Cell* buildControlBuffer(cell::CellLibrary& lib, int phase) {
+  // One cell per phase variant. The decode output enters as poly from the
+  // north; a pass transistor gated by the tapped clock line qualifies it;
+  // the control line exits south as poly. Clocks are distributed in METAL
+  // so the channel diffusion crosses the other phase's line harmlessly.
+  cell::Cell* c = lib.create(phase == 1 ? "ctlbuf_ph1" : "ctlbuf_ph2");
+  using tech::Layer;
+  // South: qualified control exit (poly) through a buried contact.
+  c->addRect(Layer::Poly, Rect{lam(6), lam(0), lam(8), lam(3)});
+  c->addRect(Layer::Poly, Rect{lam(5), lam(1), lam(9), lam(5)});
+  c->addRect(Layer::Diffusion, Rect{lam(5), lam(1), lam(9), lam(5)});
+  c->addRect(Layer::Buried, Rect{lam(5), lam(1), lam(9), lam(5)});
+  // Pass-transistor channel.
+  c->addRect(Layer::Diffusion, Rect{lam(6), lam(5), lam(8), lam(29)});
+  // Clock tap on this phase's metal line + poly gate lead.
+  const Coord y0 = bufferClockLineY0(phase);
+  c->addRect(Layer::Metal, Rect{lam(0), y0 - lam(1), lam(4), y0 + lam(4)});
+  c->addRect(Layer::Contact, Rect{lam(1), y0, lam(3), y0 + lam(2)});
+  c->addRect(Layer::Poly, Rect{lam(0), y0 - lam(1), lam(4), y0 + lam(4)});
+  c->addRect(Layer::Poly, Rect{lam(0), y0, lam(10), y0 + lam(2)});
+  // North: decode input through the upper buried contact.
+  c->addRect(Layer::Poly, Rect{lam(5), lam(26), lam(9), lam(30)});
+  c->addRect(Layer::Diffusion, Rect{lam(5), lam(26), lam(9), lam(30)});
+  c->addRect(Layer::Buried, Rect{lam(5), lam(26), lam(9), lam(30)});
+  c->addRect(Layer::Poly, Rect{lam(6), lam(30), lam(8), lam(36)});
+  c->setBoundary(Rect{0, 0, lam(14), bufferRowHeight()});
+  c->setDoc(std::string("control buffer, phase ") + (phase == 1 ? "1" : "2") +
+            ": qualifies the decoded control line with the clock");
+  return c;
+}
+
+}  // namespace bb::elements

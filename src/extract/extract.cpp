@@ -1,0 +1,321 @@
+#include "extract/extract.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace bb::extract {
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using tech::Layer;
+
+/// Disjoint-set over an arbitrary number of conductor pieces.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int a) {
+    while (parent_[static_cast<std::size_t>(a)] != a) {
+      parent_[static_cast<std::size_t>(a)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(a)])];
+      a = parent_[static_cast<std::size_t>(a)];
+    }
+    return a;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[static_cast<std::size_t>(a)] = b;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// A conductor piece: a rect on a conducting layer.
+struct Piece {
+  Layer layer;
+  Rect r;
+};
+
+/// Uniform-grid spatial index over pieces: makes connectivity extraction
+/// near-linear instead of quadratic in the piece count (chip-scale cores
+/// have tens of thousands of pieces).
+class GridIndex {
+ public:
+  GridIndex(const std::vector<Piece>& pieces, Coord cellSize)
+      : pieces_(pieces), cs_(cellSize) {
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      visitCells(pieces[i].r, [&](long long key) { grid_[key].push_back(static_cast<int>(i)); });
+    }
+  }
+
+  /// Visit the indices of pieces whose rect may touch `r` (may repeat).
+  template <typename F>
+  void forCandidates(const Rect& r, F&& f) const {
+    visitCells(r, [&](long long key) {
+      auto it = grid_.find(key);
+      if (it == grid_.end()) return;
+      for (int i : it->second) f(i);
+    });
+  }
+
+ private:
+  template <typename F>
+  void visitCells(const Rect& r, F&& f) const {
+    const Coord gx0 = floorDiv(r.x0), gx1 = floorDiv(r.x1);
+    const Coord gy0 = floorDiv(r.y0), gy1 = floorDiv(r.y1);
+    for (Coord gx = gx0; gx <= gx1; ++gx) {
+      for (Coord gy = gy0; gy <= gy1; ++gy) {
+        f((gx << 24) ^ (gy & 0xffffff));
+      }
+    }
+  }
+  Coord floorDiv(Coord v) const {
+    return v >= 0 ? v / cs_ : -((-v + cs_ - 1) / cs_);
+  }
+
+  const std::vector<Piece>& pieces_;
+  Coord cs_;
+  std::map<long long, std::vector<int>> grid_;
+};
+
+}  // namespace
+
+std::vector<Rect> subtractRects(const Rect& base, const std::vector<Rect>& holes) {
+  std::vector<Rect> live{base};
+  for (const Rect& h : holes) {
+    std::vector<Rect> next;
+    for (const Rect& r : live) {
+      auto cut = r.intersectWith(h);
+      if (!cut) {
+        next.push_back(r);
+        continue;
+      }
+      // Split r into up to four rects around the cut.
+      if (r.y1 > cut->y1) next.emplace_back(r.x0, cut->y1, r.x1, r.y1);        // above
+      if (r.y0 < cut->y0) next.emplace_back(r.x0, r.y0, r.x1, cut->y0);        // below
+      if (r.x0 < cut->x0) next.emplace_back(r.x0, cut->y0, cut->x0, cut->y1);  // left
+      if (r.x1 > cut->x1) next.emplace_back(cut->x1, cut->y0, r.x1, cut->y1);  // right
+    }
+    live = std::move(next);
+  }
+  std::erase_if(live, [](const Rect& r) { return r.isEmpty(); });
+  return live;
+}
+
+ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLabel>& labels) {
+  ExtractResult res;
+
+  // --- 1. gates: poly over diffusion, not under a buried contact --------
+  struct GateRegion {
+    Rect r;
+    bool depletion = false;
+  };
+  std::vector<GateRegion> gates;
+  std::vector<Piece> diffPieces;
+  for (const Rect& d : flat.on(Layer::Diffusion)) diffPieces.push_back({Layer::Diffusion, d});
+  const GridIndex diffIndex(diffPieces, geom::lambda(64));
+  for (const Rect& p : flat.on(Layer::Poly)) {
+    std::vector<int> cand;
+    diffIndex.forCandidates(p, [&](int i) { cand.push_back(i); });
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    for (int di : cand) {
+      const Rect& d = diffPieces[static_cast<std::size_t>(di)].r;
+      auto g = p.intersectWith(d);
+      if (!g) continue;
+      bool buried = false;
+      for (const Rect& b : flat.on(Layer::Buried)) {
+        if (b.touches(*g)) {
+          buried = true;
+          break;
+        }
+      }
+      if (buried) continue;
+      GateRegion gr{*g, false};
+      for (const Rect& im : flat.on(Layer::Implant)) {
+        if (im.contains(gr.r)) {
+          gr.depletion = true;
+          break;
+        }
+      }
+      gates.push_back(gr);
+    }
+  }
+  // Dedup identical gate regions (overlapping source rects).
+  std::sort(gates.begin(), gates.end(), [](const GateRegion& a, const GateRegion& b) {
+    return std::tie(a.r.x0, a.r.y0, a.r.x1, a.r.y1) < std::tie(b.r.x0, b.r.y0, b.r.x1, b.r.y1);
+  });
+  gates.erase(std::unique(gates.begin(), gates.end(),
+                          [](const GateRegion& a, const GateRegion& b) { return a.r == b.r; }),
+              gates.end());
+
+  // --- 2. fracture diffusion at gates ------------------------------------
+  std::vector<Piece> gatePieces;
+  gatePieces.reserve(gates.size());
+  for (const GateRegion& g : gates) gatePieces.push_back({Layer::Poly, g.r});
+  const GridIndex gateIndex(gatePieces, geom::lambda(64));
+
+  std::vector<Piece> pieces;
+  std::vector<Rect> holes;
+  for (const Rect& d : flat.on(Layer::Diffusion)) {
+    holes.clear();
+    gateIndex.forCandidates(d, [&](int i) {
+      const Rect& g = gatePieces[static_cast<std::size_t>(i)].r;
+      if (g.overlaps(d)) holes.push_back(g);
+    });
+    std::sort(holes.begin(), holes.end(), [](const Rect& a, const Rect& b) {
+      return std::tie(a.x0, a.y0, a.x1, a.y1) < std::tie(b.x0, b.y0, b.x1, b.y1);
+    });
+    holes.erase(std::unique(holes.begin(), holes.end()), holes.end());
+    for (const Rect& frag : subtractRects(d, holes)) {
+      pieces.push_back({Layer::Diffusion, frag});
+    }
+  }
+  for (const Rect& p : flat.on(Layer::Poly)) pieces.push_back({Layer::Poly, p});
+  for (const Rect& m : flat.on(Layer::Metal)) pieces.push_back({Layer::Metal, m});
+
+  // --- 3. connectivity ----------------------------------------------------
+  UnionFind uf(pieces.size());
+  const GridIndex index(pieces, geom::lambda(64));
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    index.forCandidates(pieces[i].r, [&](int j) {
+      if (j <= static_cast<int>(i)) return;
+      if (pieces[static_cast<std::size_t>(j)].layer != pieces[i].layer) return;
+      if (pieces[i].r.touches(pieces[static_cast<std::size_t>(j)].r)) {
+        uf.unite(static_cast<int>(i), j);
+      }
+    });
+  }
+  auto connectAcross = [&](const Rect& via, Layer a, Layer b) {
+    int firstA = -1, firstB = -1;
+    index.forCandidates(via, [&](int i) {
+      const Piece& p = pieces[static_cast<std::size_t>(i)];
+      if (!p.r.touches(via)) return;
+      if (p.layer == a) {
+        if (firstA < 0) firstA = i;
+        else uf.unite(i, firstA);
+      }
+      if (p.layer == b) {
+        if (firstB < 0) firstB = i;
+        else uf.unite(i, firstB);
+      }
+    });
+    if (firstA >= 0 && firstB >= 0) uf.unite(firstA, firstB);
+  };
+  for (const Rect& cut : flat.on(Layer::Contact)) {
+    // A cut connects metal to whichever of poly/diff lies under it.
+    bool hasPoly = false, hasDiff = false;
+    index.forCandidates(cut, [&](int i) {
+      const Piece& p = pieces[static_cast<std::size_t>(i)];
+      if (!p.r.touches(cut)) return;
+      hasPoly |= p.layer == Layer::Poly;
+      hasDiff |= p.layer == Layer::Diffusion;
+    });
+    if (hasPoly) connectAcross(cut, Layer::Metal, Layer::Poly);
+    if (hasDiff && !hasPoly) connectAcross(cut, Layer::Metal, Layer::Diffusion);
+  }
+  for (const Rect& b : flat.on(Layer::Buried)) {
+    connectAcross(b, Layer::Poly, Layer::Diffusion);
+  }
+
+  // --- 4. net ids ----------------------------------------------------------
+  std::map<int, int> rootToNet;
+  auto netOfPiece = [&](int idx) -> int {
+    const int root = uf.find(idx);
+    auto it = rootToNet.find(root);
+    if (it != rootToNet.end()) return it->second;
+    const int id = res.netlist.anonNet();
+    rootToNet[root] = id;
+    return id;
+  };
+
+  // Labels first, so named nets get their bristle names.
+  for (const NetLabel& lbl : labels) {
+    bool done = false;
+    index.forCandidates(Rect{lbl.at.x, lbl.at.y, lbl.at.x, lbl.at.y}, [&](int i) {
+      if (done) return;
+      if (pieces[static_cast<std::size_t>(i)].layer == lbl.layer &&
+          pieces[static_cast<std::size_t>(i)].r.contains(lbl.at)) {
+        res.netlist.rename(netOfPiece(i), lbl.name);
+        done = true;
+      }
+    });
+  }
+
+  // --- 5. transistors --------------------------------------------------------
+  for (const GateRegion& g : gates) {
+    // Gate net: poly piece overlapping the gate region.
+    int gateNet = -1;
+    index.forCandidates(g.r, [&](int i) {
+      if (gateNet >= 0) return;
+      if (pieces[static_cast<std::size_t>(i)].layer == Layer::Poly &&
+          pieces[static_cast<std::size_t>(i)].r.overlaps(g.r)) {
+        gateNet = netOfPiece(i);
+      }
+    });
+    // Source/drain: diffusion fragments touching the gate region.
+    std::vector<int> sd;
+    index.forCandidates(g.r, [&](int i) {
+      const Piece& p = pieces[static_cast<std::size_t>(i)];
+      if (p.layer != Layer::Diffusion) return;
+      if (p.r.touches(g.r)) {
+        const int net = netOfPiece(i);
+        if (std::find(sd.begin(), sd.end(), net) == sd.end()) sd.push_back(net);
+      }
+    });
+    netlist::Transistor t;
+    t.kind = g.depletion ? netlist::TransKind::Depletion : netlist::TransKind::Enhancement;
+    t.gate = gateNet;
+    t.at = g.r.center();
+    // Channel length runs along the poly direction (gate dimension between
+    // the two diffusion fragments); infer from fragment adjacency:
+    // fragments to the left/right -> length = g width in x, width = y.
+    bool horizontalFlow = false;
+    index.forCandidates(g.r, [&](int i) {
+      const Piece& p = pieces[static_cast<std::size_t>(i)];
+      if (p.layer != Layer::Diffusion || !p.r.touches(g.r)) return;
+      if (p.r.x1 <= g.r.x0 || p.r.x0 >= g.r.x1) horizontalFlow = true;
+    });
+    if (horizontalFlow) {
+      t.length = g.r.width();
+      t.width = g.r.height();
+    } else {
+      t.length = g.r.height();
+      t.width = g.r.width();
+    }
+    if (sd.size() >= 2) {
+      t.source = sd[0];
+      t.drain = sd[1];
+    } else if (sd.size() == 1) {
+      t.source = t.drain = sd[0];
+      ++res.unresolvedGates;
+    } else {
+      ++res.unresolvedGates;
+    }
+    res.netlist.add(t);
+  }
+
+  // Every conductor piece is an electrical node even if no device or label
+  // touched it; materialize those nets so netCount reports true node count.
+  for (std::size_t i = 0; i < pieces.size(); ++i) netOfPiece(static_cast<int>(i));
+  res.netCount = rootToNet.size();
+  return res;
+}
+
+ExtractResult extractCell(const cell::Cell& c, const ExtractOptions& opts) {
+  std::vector<NetLabel> labels;
+  if (opts.labelFromBristles) {
+    for (const cell::Bristle& b : c.bristles()) {
+      labels.push_back(NetLabel{b.net.empty() ? b.name : b.net, b.layer, b.pos});
+    }
+  }
+  return extractFlat(cell::flatten(c), labels);
+}
+
+}  // namespace bb::extract

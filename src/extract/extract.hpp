@@ -1,0 +1,58 @@
+/// \file extract.hpp
+/// Geometric circuit extraction: turn flattened mask artwork back into a
+/// transistor netlist. This powers the "Transistors" representation and
+/// the LVS-lite cross-check between what the generators drew and what
+/// their logic models claim.
+///
+/// Recognition rules (Mead–Conway nMOS):
+///   * poly over diffusion        -> enhancement transistor channel
+///   * ... covered by implant     -> depletion transistor (pull-up load)
+///   * contact cut                -> connects metal to poly or diffusion
+///   * buried contact             -> connects poly to diffusion
+/// Diffusion is fractured at gates so source and drain become distinct
+/// nets; connectivity is the touching relation per layer plus contacts.
+
+#pragma once
+
+#include "cell/cell.hpp"
+#include "cell/flatten.hpp"
+#include "netlist/transistor.hpp"
+
+#include <string>
+#include <vector>
+
+namespace bb::extract {
+
+/// A label seeding a net name at a location/layer (from bristles).
+struct NetLabel {
+  std::string name;
+  tech::Layer layer = tech::Layer::Metal;
+  geom::Point at;
+};
+
+struct ExtractOptions {
+  /// Use cell bristles as net labels.
+  bool labelFromBristles = true;
+};
+
+struct ExtractResult {
+  netlist::TransistorNetlist netlist;
+  /// Number of distinct electrical nodes found.
+  std::size_t netCount = 0;
+  /// Gates whose source/drain could not be resolved (degenerate layout).
+  std::size_t unresolvedGates = 0;
+};
+
+/// Extract a cell (flattens hierarchy, labels nets from its bristles).
+[[nodiscard]] ExtractResult extractCell(const cell::Cell& c, const ExtractOptions& opts = {});
+
+/// Extract pre-flattened artwork with explicit labels.
+[[nodiscard]] ExtractResult extractFlat(const cell::FlatLayout& flat,
+                                        const std::vector<NetLabel>& labels);
+
+/// Rectangle difference: `base` minus all `holes`, as a rect decomposition.
+/// Exposed for tests; extraction uses it to fracture diffusion at gates.
+[[nodiscard]] std::vector<geom::Rect> subtractRects(const geom::Rect& base,
+                                                    const std::vector<geom::Rect>& holes);
+
+}  // namespace bb::extract

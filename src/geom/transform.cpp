@@ -1,0 +1,119 @@
+#include "geom/transform.hpp"
+
+namespace bb::geom {
+
+std::string_view name(Orientation o) noexcept {
+  switch (o) {
+    case Orientation::R0: return "R0";
+    case Orientation::R90: return "R90";
+    case Orientation::R180: return "R180";
+    case Orientation::R270: return "R270";
+    case Orientation::MX: return "MX";
+    case Orientation::MX90: return "MX90";
+    case Orientation::MY: return "MY";
+    case Orientation::MY90: return "MY90";
+  }
+  return "?";
+}
+
+Point apply(Orientation o, Point p) noexcept {
+  switch (o) {
+    case Orientation::R0: return p;
+    case Orientation::R90: return {-p.y, p.x};
+    case Orientation::R180: return {-p.x, -p.y};
+    case Orientation::R270: return {p.y, -p.x};
+    case Orientation::MX: return {p.x, -p.y};
+    case Orientation::MX90: return {p.y, p.x};
+    case Orientation::MY: return {-p.x, p.y};
+    case Orientation::MY90: return {-p.y, -p.x};
+  }
+  return p;
+}
+
+namespace {
+// Encode each orientation as (mirror, rotation) with action r(m(p)):
+// index = mirror*4 + rot. Derive the composition table once, by checking
+// the action on a probe pair of points that distinguishes all 8 elements.
+struct MR {
+  bool m;
+  int r;
+};
+
+constexpr MR decode(Orientation o) noexcept {
+  switch (o) {
+    case Orientation::R0: return {false, 0};
+    case Orientation::R90: return {false, 1};
+    case Orientation::R180: return {false, 2};
+    case Orientation::R270: return {false, 3};
+    case Orientation::MX: return {true, 0};
+    case Orientation::MX90: return {true, 1};
+    case Orientation::MY: return {true, 2};
+    case Orientation::MY90: return {true, 3};
+  }
+  return {false, 0};
+}
+
+constexpr Orientation encode(bool m, int r) noexcept {
+  r = ((r % 4) + 4) % 4;
+  if (!m) {
+    constexpr Orientation rs[4] = {Orientation::R0, Orientation::R90, Orientation::R180,
+                                   Orientation::R270};
+    return rs[r];
+  }
+  constexpr Orientation ms[4] = {Orientation::MX, Orientation::MX90, Orientation::MY,
+                                 Orientation::MY90};
+  return ms[r];
+}
+}  // namespace
+
+Orientation compose(Orientation a, Orientation b) noexcept {
+  // a ∘ b where each acts as rot^r ∘ mirror^m. Using the dihedral
+  // relations: rot^ra m^ma ∘ rot^rb m^mb = rot^(ra + (ma? -rb : rb)) m^(ma^mb).
+  const MR A = decode(a);
+  const MR B = decode(b);
+  const int r = A.r + (A.m ? -B.r : B.r);
+  return encode(A.m != B.m, r);
+}
+
+Orientation inverse(Orientation o) noexcept {
+  const MR d = decode(o);
+  if (d.m) return o;  // mirrors are involutions in this encoding
+  return encode(false, -d.r);
+}
+
+Rect Transform::operator()(const Rect& r) const noexcept {
+  const Point a = (*this)(Point{r.x0, r.y0});
+  const Point b = (*this)(Point{r.x1, r.y1});
+  return Rect{a.x, a.y, b.x, b.y};  // Rect ctor normalizes
+}
+
+Polygon Transform::operator()(const Polygon& p) const {
+  Polygon out;
+  out.pts.reserve(p.pts.size());
+  for (Point q : p.pts) out.pts.push_back((*this)(q));
+  return out;
+}
+
+Path Transform::operator()(const Path& p) const {
+  Path out;
+  out.width = p.width;
+  out.pts.reserve(p.pts.size());
+  for (Point q : p.pts) out.pts.push_back((*this)(q));
+  return out;
+}
+
+Transform Transform::operator*(const Transform& b) const noexcept {
+  Transform t;
+  t.orient = compose(orient, b.orient);
+  t.offset = apply(orient, b.offset) + offset;
+  return t;
+}
+
+Transform Transform::inverted() const noexcept {
+  Transform t;
+  t.orient = inverse(orient);
+  t.offset = apply(t.orient, Point{-offset.x, -offset.y});
+  return t;
+}
+
+}  // namespace bb::geom

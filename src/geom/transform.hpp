@@ -1,0 +1,61 @@
+/// \file transform.hpp
+/// Rigid layout transforms: the dihedral group D4 (rotations by 90° and
+/// mirrors) plus translation. Cell instances carry one `Transform`;
+/// composing transforms while flattening a hierarchy is exact integer math.
+
+#pragma once
+
+#include "geom/geometry.hpp"
+
+#include <array>
+#include <string_view>
+
+namespace bb::geom {
+
+/// The eight rigid orientations of the square lattice.
+enum class Orientation : std::uint8_t {
+  R0 = 0,   ///< identity
+  R90,      ///< rotate 90° counter-clockwise
+  R180,     ///< rotate 180°
+  R270,     ///< rotate 270° counter-clockwise
+  MX,       ///< mirror about the x axis (y -> -y)
+  MX90,     ///< mirror about x, then rotate 90°
+  MY,       ///< mirror about the y axis (x -> -x)
+  MY90,     ///< mirror about y, then rotate 90°
+};
+
+inline constexpr std::array<Orientation, 8> kAllOrientations = {
+    Orientation::R0, Orientation::R90,  Orientation::R180, Orientation::R270,
+    Orientation::MX, Orientation::MX90, Orientation::MY,   Orientation::MY90};
+
+[[nodiscard]] std::string_view name(Orientation o) noexcept;
+
+/// Apply an orientation to a point (about the origin).
+[[nodiscard]] Point apply(Orientation o, Point p) noexcept;
+
+/// Group composition: `compose(a, b)` is "apply b, then a".
+[[nodiscard]] Orientation compose(Orientation a, Orientation b) noexcept;
+
+/// Group inverse.
+[[nodiscard]] Orientation inverse(Orientation o) noexcept;
+
+/// A rigid transform: orientation about the origin followed by translation.
+struct Transform {
+  Orientation orient = Orientation::R0;
+  Point offset{};
+
+  [[nodiscard]] static Transform translate(Point d) noexcept { return {Orientation::R0, d}; }
+
+  [[nodiscard]] Point operator()(Point p) const noexcept { return apply(orient, p) + offset; }
+  [[nodiscard]] Rect operator()(const Rect& r) const noexcept;
+  [[nodiscard]] Polygon operator()(const Polygon& p) const;
+  [[nodiscard]] Path operator()(const Path& p) const;
+
+  /// Composition: `(a * b)(p) == a(b(p))`.
+  [[nodiscard]] Transform operator*(const Transform& b) const noexcept;
+  [[nodiscard]] Transform inverted() const noexcept;
+
+  friend bool operator==(const Transform&, const Transform&) = default;
+};
+
+}  // namespace bb::geom

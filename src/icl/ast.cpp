@@ -1,0 +1,83 @@
+#include "icl/ast.hpp"
+
+#include <sstream>
+
+namespace bb::icl {
+
+const FieldDecl* MicrocodeDecl::field(std::string_view name) const noexcept {
+  for (const FieldDecl& f : fields) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string ParamValue::toString() const {
+  if (isInt()) return std::to_string(asInt());
+  if (isBool()) return asBool() ? "true" : "false";
+  if (isString()) return "\"" + asText() + "\"";
+  if (isName()) return asText();
+  if (isList()) {
+    std::string s = "[";
+    const List& l = asList();
+    for (std::size_t i = 0; i < l.size(); ++i) {
+      if (i) s += ", ";
+      s += l[i].toString();
+    }
+    return s + "]";
+  }
+  return "<empty>";
+}
+
+const ParamValue* ElementDecl::param(std::string_view p) const noexcept {
+  auto it = params.find(std::string(p));
+  return it == params.end() ? nullptr : &it->second;
+}
+
+namespace {
+void printItems(std::ostringstream& os, const std::vector<CoreItem>& items, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  for (const CoreItem& item : items) {
+    if (const auto* e = std::get_if<ElementDecl>(&item.node)) {
+      os << pad << e->kind << ' ' << e->name << " (";
+      bool first = true;
+      for (const auto& [k, v] : e->params) {
+        if (!first) os << ", ";
+        first = false;
+        os << k << " = " << v.toString();
+      }
+      os << ");\n";
+    } else if (const auto* c = std::get_if<CondBlock>(&item.node)) {
+      os << pad << "if " << (c->negate ? "!" : "") << c->var << " {\n";
+      printItems(os, c->thenItems, indent + 2);
+      if (!c->elseItems.empty()) {
+        os << pad << "} else {\n";
+        printItems(os, c->elseItems, indent + 2);
+      }
+      os << pad << "}\n";
+    }
+  }
+}
+}  // namespace
+
+std::string ChipDesc::toString() const {
+  std::ostringstream os;
+  os << "chip " << name << ";\n";
+  for (const auto& [k, v] : vars) os << "var " << k << " = " << (v ? "true" : "false") << ";\n";
+  os << "microcode width " << microcode.width << " {\n";
+  for (const FieldDecl& f : microcode.fields) {
+    os << "  field " << f.name << " [" << f.lo << ":" << f.hi << "];\n";
+  }
+  os << "}\n";
+  os << "data width " << dataWidth << ";\n";
+  os << "buses ";
+  for (std::size_t i = 0; i < buses.size(); ++i) {
+    if (i) os << ", ";
+    os << buses[i];
+  }
+  os << ";\ncore {\n";
+  printItems(os, core, 2);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace bb::icl

@@ -1,0 +1,121 @@
+/// \file ast.hpp
+/// Abstract syntax for the chip description — the "single page, high
+/// level description of the integrated circuit" the compiler consumes.
+/// Three sections, exactly as the paper specifies: (1) microcode width
+/// and field decomposition, (2) data width and bus list, (3) the core
+/// element list with parameters; plus global booleans for conditional
+/// assembly.
+
+#pragma once
+
+#include "icl/diagnostics.hpp"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bb::icl {
+
+/// One microcode field, e.g. `field aluop [3:5];` — bits lo..hi inclusive.
+struct FieldDecl {
+  std::string name;
+  int lo = 0;
+  int hi = 0;
+  SourceLoc loc;
+
+  [[nodiscard]] int bits() const noexcept { return hi - lo + 1; }
+};
+
+/// Section 1: microcode instruction format.
+struct MicrocodeDecl {
+  int width = 0;
+  std::vector<FieldDecl> fields;
+  SourceLoc loc;
+
+  [[nodiscard]] const FieldDecl* field(std::string_view name) const noexcept;
+};
+
+/// A parameter value in an element declaration.
+class ParamValue {
+ public:
+  using List = std::vector<ParamValue>;
+
+  ParamValue() = default;
+  explicit ParamValue(long long n) : v_(n) {}
+  explicit ParamValue(bool b) : v_(b) {}
+  ParamValue(std::string s, bool quoted) : v_(std::move(s)), quoted_(quoted) {}
+  explicit ParamValue(List l) : v_(std::move(l)) {}
+
+  [[nodiscard]] bool isInt() const noexcept { return std::holds_alternative<long long>(v_); }
+  [[nodiscard]] bool isBool() const noexcept { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool isName() const noexcept {
+    return std::holds_alternative<std::string>(v_) && !quoted_;
+  }
+  [[nodiscard]] bool isString() const noexcept {
+    return std::holds_alternative<std::string>(v_) && quoted_;
+  }
+  [[nodiscard]] bool isList() const noexcept { return std::holds_alternative<List>(v_); }
+
+  [[nodiscard]] long long asInt(long long dflt = 0) const noexcept {
+    return isInt() ? std::get<long long>(v_) : dflt;
+  }
+  [[nodiscard]] bool asBool(bool dflt = false) const noexcept {
+    return isBool() ? std::get<bool>(v_) : dflt;
+  }
+  [[nodiscard]] const std::string& asText() const noexcept {
+    static const std::string kEmpty;
+    return std::holds_alternative<std::string>(v_) ? std::get<std::string>(v_) : kEmpty;
+  }
+  [[nodiscard]] const List& asList() const noexcept {
+    static const List kEmpty;
+    return isList() ? std::get<List>(v_) : kEmpty;
+  }
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::variant<std::monostate, long long, bool, std::string, List> v_;
+  bool quoted_ = false;
+};
+
+/// One core element: `register R0 (in = A, out = B);`
+struct ElementDecl {
+  std::string kind;  ///< generator name: register, alu, shifter, ...
+  std::string name;  ///< instance name
+  std::map<std::string, ParamValue> params;
+  SourceLoc loc;
+
+  [[nodiscard]] const ParamValue* param(std::string_view p) const noexcept;
+};
+
+struct CoreItem;
+
+/// `if [!]VAR { ... } [else { ... }]` — the paper's conditional assembly.
+struct CondBlock {
+  std::string var;
+  bool negate = false;
+  std::vector<CoreItem> thenItems;
+  std::vector<CoreItem> elseItems;
+  SourceLoc loc;
+};
+
+struct CoreItem {
+  std::variant<ElementDecl, CondBlock> node;
+};
+
+/// The whole chip description.
+struct ChipDesc {
+  std::string name;
+  std::map<std::string, bool> vars;  ///< conditional-assembly booleans
+  MicrocodeDecl microcode;
+  int dataWidth = 0;
+  std::vector<std::string> buses;
+  std::vector<CoreItem> core;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+}  // namespace bb::icl

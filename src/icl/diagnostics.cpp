@@ -1,0 +1,32 @@
+#include "icl/diagnostics.hpp"
+
+#include <sstream>
+
+namespace bb::icl {
+
+std::string SourceLoc::toString() const {
+  if (line == 0) return "<no location>";
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string Diagnostic::toString() const {
+  const char* sev = severity == Severity::Error     ? "error"
+                    : severity == Severity::Warning ? "warning"
+                                                    : "note";
+  return loc.toString() + ": " + sev + ": " + message;
+}
+
+bool DiagnosticList::hasErrors() const noexcept {
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::Error) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticList::toString() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) os << d.toString() << "\n";
+  return os.str();
+}
+
+}  // namespace bb::icl

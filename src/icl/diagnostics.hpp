@@ -1,0 +1,51 @@
+/// \file diagnostics.hpp
+/// Source positions and user-facing diagnostics for the chip description
+/// language. User-input problems are reported with positions and never
+/// thrown; internal invariants use assertions.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bb::icl {
+
+struct SourceLoc {
+  int line = 0;    ///< 1-based; 0 means "no location"
+  int column = 0;  ///< 1-based
+
+  [[nodiscard]] std::string toString() const;
+};
+
+enum class Severity : std::uint8_t { Error, Warning, Note };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+class DiagnosticList {
+ public:
+  void error(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Error, loc, std::move(msg)});
+  }
+  void warning(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Warning, loc, std::move(msg)});
+  }
+  void note(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Note, loc, std::move(msg)});
+  }
+
+  [[nodiscard]] bool hasErrors() const noexcept;
+  [[nodiscard]] const std::vector<Diagnostic>& all() const noexcept { return diags_; }
+  [[nodiscard]] std::string toString() const;
+  void clear() noexcept { diags_.clear(); }
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace bb::icl

@@ -1,0 +1,53 @@
+/// \file lexer.hpp
+/// Tokenizer for the chip description language (our stand-in for the one
+/// page of ICL the user wrote in 1979). Comments: `#` or `//` to end of
+/// line.
+
+#pragma once
+
+#include "icl/diagnostics.hpp"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bb::icl {
+
+enum class TokKind : std::uint8_t {
+  Ident,
+  Number,
+  String,
+  // punctuation
+  Semi,       // ;
+  Comma,      // ,
+  LParen,     // (
+  RParen,     // )
+  LBrace,     // {
+  RBrace,     // }
+  LBracket,   // [
+  RBracket,   // ]
+  Assign,     // =
+  Colon,      // :
+  Bang,       // !
+  Amp,        // &
+  Pipe,       // |
+  EqEq,       // ==
+  BangEq,     // !=
+  EndOfFile,
+  Error,
+};
+
+[[nodiscard]] std::string_view tokKindName(TokKind k) noexcept;
+
+struct Token {
+  TokKind kind = TokKind::EndOfFile;
+  std::string text;
+  long long number = 0;
+  SourceLoc loc;
+};
+
+/// Tokenize the whole input; lexical errors are reported into `diags`
+/// and produce Error tokens (the parser recovers at the next ';').
+[[nodiscard]] std::vector<Token> tokenize(std::string_view src, DiagnosticList& diags);
+
+}  // namespace bb::icl

@@ -1,0 +1,375 @@
+#include "icl/parser.hpp"
+
+namespace bb::icl {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, DiagnosticList& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
+
+  std::optional<ChipDesc> parse() {
+    ChipDesc chip;
+    bool sawMicrocode = false, sawData = false, sawBuses = false, sawCore = false;
+
+    if (!expectKeyword("chip")) return std::nullopt;
+    if (!expectIdent(chip.name, "chip name")) return std::nullopt;
+    expect(TokKind::Semi);
+
+    while (!at(TokKind::EndOfFile)) {
+      if (atKeyword("var")) {
+        parseVar(chip);
+      } else if (atKeyword("microcode")) {
+        parseMicrocode(chip);
+        sawMicrocode = true;
+      } else if (atKeyword("data")) {
+        parseData(chip);
+        sawData = true;
+      } else if (atKeyword("buses")) {
+        parseBuses(chip);
+        sawBuses = true;
+      } else if (atKeyword("core")) {
+        parseCore(chip.core);
+        sawCore = true;
+      } else {
+        diags_.error(cur().loc, "expected a section (var/microcode/data/buses/core), got " +
+                                    std::string(tokKindName(cur().kind)) +
+                                    (cur().text.empty() ? "" : " '" + cur().text + "'"));
+        recoverToSemiOrBrace();
+      }
+    }
+
+    if (!sawMicrocode) diags_.error({}, "missing 'microcode' section");
+    if (!sawData) diags_.error({}, "missing 'data width' section");
+    if (!sawBuses) diags_.error({}, "missing 'buses' section");
+    if (!sawCore) diags_.error({}, "missing 'core' section");
+    semanticChecks(chip);
+
+    if (diags_.hasErrors()) return std::nullopt;
+    return chip;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(std::size_t n = 1) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  void advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool at(TokKind k) const { return cur().kind == k; }
+  bool atKeyword(std::string_view kw) const {
+    return cur().kind == TokKind::Ident && cur().text == kw;
+  }
+  bool accept(TokKind k) {
+    if (at(k)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool expect(TokKind k) {
+    if (accept(k)) return true;
+    diags_.error(cur().loc, "expected " + std::string(tokKindName(k)) + ", got " +
+                                std::string(tokKindName(cur().kind)));
+    return false;
+  }
+  bool expectKeyword(std::string_view kw) {
+    if (atKeyword(kw)) {
+      advance();
+      return true;
+    }
+    diags_.error(cur().loc, "expected '" + std::string(kw) + "'");
+    return false;
+  }
+  bool expectIdent(std::string& out, std::string_view what) {
+    if (at(TokKind::Ident)) {
+      out = cur().text;
+      advance();
+      return true;
+    }
+    diags_.error(cur().loc, "expected " + std::string(what));
+    return false;
+  }
+  bool expectNumber(long long& out, std::string_view what) {
+    if (at(TokKind::Number)) {
+      out = cur().number;
+      advance();
+      return true;
+    }
+    diags_.error(cur().loc, "expected " + std::string(what));
+    return false;
+  }
+  void recoverToSemiOrBrace() {
+    while (!at(TokKind::EndOfFile) && !at(TokKind::Semi) && !at(TokKind::RBrace)) advance();
+    accept(TokKind::Semi);
+    accept(TokKind::RBrace);
+  }
+
+  void parseVar(ChipDesc& chip) {
+    const SourceLoc varLoc = cur().loc;
+    advance();  // var
+    std::string name;
+    if (!expectIdent(name, "variable name")) {
+      recoverToSemiOrBrace();
+      return;
+    }
+    expect(TokKind::Assign);
+    bool value = false;
+    if (atKeyword("true")) {
+      value = true;
+      advance();
+    } else if (atKeyword("false")) {
+      value = false;
+      advance();
+    } else if (at(TokKind::Number)) {
+      value = cur().number != 0;
+      advance();
+    } else {
+      diags_.error(cur().loc, "expected true/false");
+      recoverToSemiOrBrace();
+      return;
+    }
+    if (chip.vars.contains(name)) {
+      diags_.warning(varLoc, "variable '" + name + "' redefined");
+    }
+    chip.vars[name] = value;
+    expect(TokKind::Semi);
+  }
+
+  void parseMicrocode(ChipDesc& chip) {
+    chip.microcode.loc = cur().loc;
+    advance();  // microcode
+    expectKeyword("width");
+    long long w = 0;
+    expectNumber(w, "microcode width");
+    chip.microcode.width = static_cast<int>(w);
+    if (!expect(TokKind::LBrace)) return;
+    while (!at(TokKind::RBrace) && !at(TokKind::EndOfFile)) {
+      if (!atKeyword("field")) {
+        diags_.error(cur().loc, "expected 'field'");
+        recoverToSemiOrBrace();
+        continue;
+      }
+      FieldDecl f;
+      f.loc = cur().loc;
+      advance();
+      if (!expectIdent(f.name, "field name")) {
+        recoverToSemiOrBrace();
+        continue;
+      }
+      expect(TokKind::LBracket);
+      long long lo = 0, hi = 0;
+      expectNumber(lo, "low bit");
+      expect(TokKind::Colon);
+      expectNumber(hi, "high bit");
+      expect(TokKind::RBracket);
+      expect(TokKind::Semi);
+      f.lo = static_cast<int>(std::min(lo, hi));
+      f.hi = static_cast<int>(std::max(lo, hi));
+      chip.microcode.fields.push_back(std::move(f));
+    }
+    expect(TokKind::RBrace);
+  }
+
+  void parseData(ChipDesc& chip) {
+    advance();  // data
+    expectKeyword("width");
+    long long w = 0;
+    expectNumber(w, "data width");
+    chip.dataWidth = static_cast<int>(w);
+    expect(TokKind::Semi);
+  }
+
+  void parseBuses(ChipDesc& chip) {
+    advance();  // buses
+    do {
+      std::string b;
+      if (!expectIdent(b, "bus name")) break;
+      chip.buses.push_back(std::move(b));
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semi);
+  }
+
+  void parseCore(std::vector<CoreItem>& items) {
+    advance();  // core (or already consumed brace for nested)
+    if (!expect(TokKind::LBrace)) return;
+    parseItems(items);
+    expect(TokKind::RBrace);
+  }
+
+  void parseItems(std::vector<CoreItem>& items) {
+    while (!at(TokKind::RBrace) && !at(TokKind::EndOfFile)) {
+      if (atKeyword("if")) {
+        CondBlock cb;
+        cb.loc = cur().loc;
+        advance();
+        cb.negate = accept(TokKind::Bang);
+        if (!expectIdent(cb.var, "condition variable")) {
+          recoverToSemiOrBrace();
+          continue;
+        }
+        if (!expect(TokKind::LBrace)) continue;
+        parseItems(cb.thenItems);
+        expect(TokKind::RBrace);
+        if (atKeyword("else")) {
+          advance();
+          if (expect(TokKind::LBrace)) {
+            parseItems(cb.elseItems);
+            expect(TokKind::RBrace);
+          }
+        }
+        items.push_back(CoreItem{std::move(cb)});
+        continue;
+      }
+      // element: KIND NAME [ (params) ] ;
+      ElementDecl e;
+      e.loc = cur().loc;
+      if (!expectIdent(e.kind, "element kind")) {
+        recoverToSemiOrBrace();
+        continue;
+      }
+      if (!expectIdent(e.name, "element name")) {
+        recoverToSemiOrBrace();
+        continue;
+      }
+      if (accept(TokKind::LParen)) {
+        if (!at(TokKind::RParen)) {
+          do {
+            std::string pname;
+            if (!expectIdent(pname, "parameter name")) break;
+            expect(TokKind::Assign);
+            ParamValue v = parseValue();
+            if (e.params.contains(pname)) {
+              diags_.error(cur().loc, "duplicate parameter '" + pname + "'");
+            }
+            e.params.emplace(std::move(pname), std::move(v));
+          } while (accept(TokKind::Comma));
+        }
+        expect(TokKind::RParen);
+      }
+      expect(TokKind::Semi);
+      items.push_back(CoreItem{std::move(e)});
+    }
+  }
+
+  ParamValue parseValue() {
+    if (at(TokKind::Number)) {
+      const long long v = cur().number;
+      advance();
+      return ParamValue(v);
+    }
+    if (atKeyword("true")) {
+      advance();
+      return ParamValue(true);
+    }
+    if (atKeyword("false")) {
+      advance();
+      return ParamValue(false);
+    }
+    if (at(TokKind::String)) {
+      ParamValue v(cur().text, true);
+      advance();
+      return v;
+    }
+    if (at(TokKind::Ident)) {
+      ParamValue v(cur().text, false);
+      advance();
+      return v;
+    }
+    if (accept(TokKind::LBracket)) {
+      ParamValue::List list;
+      if (!at(TokKind::RBracket)) {
+        do {
+          list.push_back(parseValue());
+        } while (accept(TokKind::Comma));
+      }
+      expect(TokKind::RBracket);
+      return ParamValue(std::move(list));
+    }
+    diags_.error(cur().loc, "expected a value");
+    advance();
+    return {};
+  }
+
+  void semanticChecks(const ChipDesc& chip) {
+    // Microcode fields inside the word and non-overlapping.
+    std::vector<int> owner(static_cast<std::size_t>(std::max(chip.microcode.width, 0)), -1);
+    for (std::size_t fi = 0; fi < chip.microcode.fields.size(); ++fi) {
+      const FieldDecl& f = chip.microcode.fields[fi];
+      if (f.lo < 0 || f.hi >= chip.microcode.width) {
+        diags_.error(f.loc, "field '" + f.name + "' [" + std::to_string(f.lo) + ":" +
+                                std::to_string(f.hi) + "] exceeds microcode width " +
+                                std::to_string(chip.microcode.width));
+        continue;
+      }
+      for (int b = f.lo; b <= f.hi; ++b) {
+        if (owner[static_cast<std::size_t>(b)] >= 0) {
+          diags_.error(f.loc,
+                       "field '" + f.name + "' overlaps field '" +
+                           chip.microcode.fields[static_cast<std::size_t>(
+                                                     owner[static_cast<std::size_t>(b)])]
+                               .name +
+                           "' at bit " + std::to_string(b));
+          break;
+        }
+        owner[static_cast<std::size_t>(b)] = static_cast<int>(fi);
+      }
+      for (std::size_t fj = 0; fj < fi; ++fj) {
+        if (chip.microcode.fields[fj].name == f.name) {
+          diags_.error(f.loc, "duplicate field name '" + f.name + "'");
+        }
+      }
+    }
+    if (chip.dataWidth <= 0 || chip.dataWidth > 64) {
+      diags_.error({}, "data width must be in 1..64, got " + std::to_string(chip.dataWidth));
+    }
+    if (chip.buses.empty() || chip.buses.size() > 2) {
+      // The paper: "at most two buses may run through any element".
+      diags_.error({}, "need 1 or 2 buses, got " + std::to_string(chip.buses.size()));
+    }
+    for (std::size_t i = 0; i < chip.buses.size(); ++i) {
+      for (std::size_t j = i + 1; j < chip.buses.size(); ++j) {
+        if (chip.buses[i] == chip.buses[j]) {
+          diags_.error({}, "duplicate bus name '" + chip.buses[i] + "'");
+        }
+      }
+    }
+    checkNames(chip.core);
+  }
+
+  void checkNames(const std::vector<CoreItem>& items) {
+    for (const CoreItem& item : items) {
+      if (const auto* e = std::get_if<ElementDecl>(&item.node)) {
+        for (const std::string& n : elementNames_) {
+          if (n == e->name) {
+            diags_.error(e->loc, "duplicate element name '" + e->name + "'");
+          }
+        }
+        elementNames_.push_back(e->name);
+      } else if (const auto* c = std::get_if<CondBlock>(&item.node)) {
+        // Names in both arms may collide with each other (only one arm is
+        // assembled), but not with outer names — check each arm separately.
+        checkNames(c->thenItems);
+        checkNames(c->elseItems);
+      }
+    }
+  }
+
+  std::vector<Token> toks_;
+  DiagnosticList& diags_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> elementNames_;
+};
+
+}  // namespace
+
+std::optional<ChipDesc> parseChip(std::string_view src, DiagnosticList& diags) {
+  std::vector<Token> toks = tokenize(src, diags);
+  if (diags.hasErrors()) return std::nullopt;
+  Parser p(std::move(toks), diags);
+  return p.parse();
+}
+
+}  // namespace bb::icl

@@ -1,0 +1,18 @@
+/// \file parser.hpp
+/// Recursive-descent parser for the chip description language.
+
+#pragma once
+
+#include "icl/ast.hpp"
+#include "icl/lexer.hpp"
+
+#include <optional>
+
+namespace bb::icl {
+
+/// Parse a chip description. On error, diagnostics are filled and
+/// nullopt is returned (the parser recovers at ';' / '}' boundaries to
+/// report multiple errors in one run).
+[[nodiscard]] std::optional<ChipDesc> parseChip(std::string_view src, DiagnosticList& diags);
+
+}  // namespace bb::icl

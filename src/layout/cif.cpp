@@ -1,0 +1,125 @@
+#include "layout/cif.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace bb::layout {
+
+namespace {
+
+using cell::Cell;
+using geom::Orientation;
+
+/// Collect cells bottom-up (children before parents), each once.
+void collect(const Cell& c, std::vector<const Cell*>& order,
+             std::map<const Cell*, int>& ids) {
+  if (ids.contains(&c)) return;
+  for (const cell::Instance& i : c.instances()) collect(*i.cell, order, ids);
+  ids[&c] = static_cast<int>(order.size()) + 1;  // CIF symbols are 1-based
+  order.push_back(&c);
+}
+
+/// CIF transform suffix for one of our D4 orientations. CIF applies the
+/// listed operations left to right; CIF MX negates x, MY negates y.
+std::string cifOrient(Orientation o) {
+  switch (o) {
+    case Orientation::R0: return "";
+    case Orientation::R90: return " R 0 1";
+    case Orientation::R180: return " R -1 0";
+    case Orientation::R270: return " R 0 -1";
+    case Orientation::MX: return " M Y";        // our MX: y -> -y
+    case Orientation::MX90: return " M Y R 0 1";
+    case Orientation::MY: return " M X";        // our MY: x -> -x
+    case Orientation::MY90: return " M X R 0 1";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string writeCif(const Cell& top, const CifOptions& opts) {
+  std::vector<const Cell*> order;
+  std::map<const Cell*, int> ids;
+  collect(top, order, ids);
+
+  std::ostringstream os;
+  if (opts.comments) {
+    os << "( Bristle Blocks silicon compiler -- CIF 2.0 mask set );\n";
+    os << "( top cell: " << top.name() << " );\n";
+  }
+  for (const Cell* c : order) {
+    os << "DS " << ids[c] << ' ' << opts.scaleNum << ' ' << opts.scaleDen << ";\n";
+    if (opts.symbolNames) os << "9 " << c->name() << ";\n";
+    // Group shapes by layer to minimize L commands.
+    for (tech::Layer l : tech::kAllLayers) {
+      bool wroteLayer = false;
+      auto needLayer = [&] {
+        if (!wroteLayer) {
+          os << "L " << tech::cifName(l) << ";\n";
+          wroteLayer = true;
+        }
+      };
+      for (const cell::Shape& s : c->shapes()) {
+        if (s.layer != l) continue;
+        std::visit(
+            [&](const auto& g) {
+              using T = std::decay_t<decltype(g)>;
+              if constexpr (std::is_same_v<T, geom::Rect>) {
+                needLayer();
+                // B length width xcenter ycenter — CIF centers may be
+                // half-integral in layout units; double the coordinate
+                // system would be needed. Our generators keep all rects
+                // even-sized on the quarter-lambda grid, so centers are
+                // exact.
+                os << "B " << g.width() << ' ' << g.height() << ' ' << g.center().x << ' '
+                   << g.center().y << ";\n";
+              } else if constexpr (std::is_same_v<T, geom::Polygon>) {
+                needLayer();
+                os << "P";
+                for (geom::Point p : g.pts) os << ' ' << p.x << ' ' << p.y;
+                os << ";\n";
+              } else {
+                needLayer();
+                os << "W " << g.width;
+                for (geom::Point p : g.pts) os << ' ' << p.x << ' ' << p.y;
+                os << ";\n";
+              }
+            },
+            s.geo);
+      }
+    }
+    for (const cell::Instance& i : c->instances()) {
+      os << "C " << ids[i.cell] << cifOrient(i.placement.orient) << " T "
+         << i.placement.offset.x << ' ' << i.placement.offset.y << ";\n";
+    }
+    os << "DF;\n";
+  }
+  os << "C " << ids[&top] << ";\n";
+  os << "E\n";
+  return os.str();
+}
+
+CifStats cifStats(const std::string& cif) {
+  CifStats st;
+  std::istringstream is(cif);
+  std::string line;
+  while (std::getline(is, line)) {
+    // Skip leading whitespace.
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos) continue;
+    switch (line[i]) {
+      case 'D':
+        if (line.compare(i, 2, "DS") == 0) ++st.symbols;
+        break;
+      case 'B': ++st.boxes; break;
+      case 'W': ++st.wires; break;
+      case 'P': ++st.polygons; break;
+      case 'C': ++st.calls; break;
+      default: break;
+    }
+  }
+  return st;
+}
+
+}  // namespace bb::layout

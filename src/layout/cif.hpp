@@ -1,0 +1,41 @@
+/// \file cif.hpp
+/// Caltech Intermediate Form (CIF 2.0) writer — the mask interchange
+/// format of Mead & Conway; the actual deliverable of the 1979 Bristle
+/// Blocks system was a CIF mask set. Hierarchy is preserved: every cell
+/// becomes a DS/DF symbol, instances become C calls with transforms.
+
+#pragma once
+
+#include "cell/cell.hpp"
+#include "cell/library.hpp"
+
+#include <string>
+
+namespace bb::layout {
+
+struct CifOptions {
+  /// Distance scale: layout units are multiplied by num/den to obtain
+  /// centimicrons. Default: quarter-lambda grid at lambda = 2.5 um
+  /// (62.5 centimicrons per unit = 125/2).
+  int scaleNum = 125;
+  int scaleDen = 2;
+  /// Emit `9 <name>;` symbol-name extension lines.
+  bool symbolNames = true;
+  /// Emit human-readable comments.
+  bool comments = true;
+};
+
+/// Write `top` and its whole hierarchy as a CIF file ending in `E`.
+[[nodiscard]] std::string writeCif(const cell::Cell& top, const CifOptions& opts = {});
+
+/// Statistics of a written mask set (for reports and tests).
+struct CifStats {
+  std::size_t symbols = 0;
+  std::size_t boxes = 0;
+  std::size_t wires = 0;
+  std::size_t polygons = 0;
+  std::size_t calls = 0;
+};
+[[nodiscard]] CifStats cifStats(const std::string& cif);
+
+}  // namespace bb::layout

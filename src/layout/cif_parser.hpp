@@ -1,0 +1,26 @@
+/// \file cif_parser.hpp
+/// A CIF 2.0 reader for the dialect writeCif emits (DS/DF, 9-names, L, B,
+/// W, P, C with R/M/T transforms, E). Used for round-trip verification of
+/// the mask pipeline and to import library cells kept as CIF on disk.
+
+#pragma once
+
+#include "cell/library.hpp"
+
+#include <string>
+
+namespace bb::layout {
+
+struct CifParseResult {
+  bool ok = false;
+  std::string error;
+  /// The top cell: the symbol called by the top-level `C` command, or the
+  /// last defined symbol when no top-level call is present.
+  cell::Cell* top = nullptr;
+};
+
+/// Parse `text` into `lib`. Symbol ids are mapped to fresh cells; `9`
+/// name extensions give cells their names (falling back to "cif_<id>").
+CifParseResult parseCif(std::string_view text, cell::CellLibrary& lib);
+
+}  // namespace bb::layout

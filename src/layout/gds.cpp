@@ -1,0 +1,269 @@
+#include "layout/gds.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+
+namespace bb::layout {
+
+namespace {
+
+using cell::Cell;
+
+// GDSII record types (with implicit data type).
+enum : std::uint8_t {
+  kHeader = 0x00,
+  kBgnLib = 0x01,
+  kLibName = 0x02,
+  kUnits = 0x03,
+  kEndLib = 0x04,
+  kBgnStr = 0x05,
+  kStrName = 0x06,
+  kEndStr = 0x07,
+  kBoundary = 0x08,
+  kPath = 0x09,
+  kSref = 0x0a,
+  kLayer = 0x0d,
+  kDatatype = 0x0e,
+  kWidth = 0x0f,
+  kXy = 0x10,
+  kEndEl = 0x11,
+  kSname = 0x12,
+  kStrans = 0x1a,
+  kAngle = 0x1c,
+};
+
+enum : std::uint8_t {
+  kDtNone = 0x00,
+  kDtI16 = 0x02,
+  kDtI32 = 0x03,
+  kDtF64 = 0x05,
+  kDtAscii = 0x06,
+};
+
+class Emitter {
+ public:
+  void record(std::uint8_t type, std::uint8_t dtype, const std::vector<std::uint8_t>& payload) {
+    const std::size_t len = payload.size() + 4;
+    bytes_.push_back(static_cast<std::uint8_t>(len >> 8));
+    bytes_.push_back(static_cast<std::uint8_t>(len & 0xff));
+    bytes_.push_back(type);
+    bytes_.push_back(dtype);
+    bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+  }
+
+  void i16(std::uint8_t type, std::vector<std::int16_t> vals) {
+    std::vector<std::uint8_t> p;
+    for (std::int16_t v : vals) {
+      p.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+      p.push_back(static_cast<std::uint8_t>(v & 0xff));
+    }
+    record(type, kDtI16, p);
+  }
+
+  void i32(std::uint8_t type, const std::vector<std::int32_t>& vals) {
+    std::vector<std::uint8_t> p;
+    for (std::int32_t v : vals) {
+      p.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+      p.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+      p.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+      p.push_back(static_cast<std::uint8_t>(v & 0xff));
+    }
+    record(type, kDtI32, p);
+  }
+
+  void f64(std::uint8_t type, const std::vector<double>& vals) {
+    std::vector<std::uint8_t> p;
+    for (double v : vals) {
+      const auto r = real8(v);
+      p.insert(p.end(), r.begin(), r.end());
+    }
+    record(type, kDtF64, p);
+  }
+
+  void ascii(std::uint8_t type, std::string s) {
+    if (s.size() % 2 != 0) s.push_back('\0');  // records are even-length
+    std::vector<std::uint8_t> p(s.begin(), s.end());
+    record(type, kDtAscii, p);
+  }
+
+  void none(std::uint8_t type) { record(type, kDtNone, {}); }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  /// GDSII excess-64 8-byte real.
+  static std::array<std::uint8_t, 8> real8(double v) {
+    std::array<std::uint8_t, 8> out{};
+    if (v == 0.0) return out;
+    const bool neg = v < 0;
+    double m = neg ? -v : v;
+    int exp = 0;
+    while (m >= 1.0) {
+      m /= 16.0;
+      ++exp;
+    }
+    while (m < 1.0 / 16.0) {
+      m *= 16.0;
+      --exp;
+    }
+    // m in [1/16, 1); mantissa = m * 2^56 as 7 bytes.
+    std::uint64_t mant = static_cast<std::uint64_t>(std::ldexp(m, 56));
+    out[0] = static_cast<std::uint8_t>((neg ? 0x80 : 0x00) | ((exp + 64) & 0x7f));
+    for (int i = 6; i >= 0; --i) {
+      out[static_cast<std::size_t>(7 - i)] |= static_cast<std::uint8_t>((mant >> (8 * i)) & 0xff);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+void collect(const Cell& c, std::vector<const Cell*>& order, std::map<const Cell*, bool>& seen) {
+  if (seen.contains(&c)) return;
+  seen[&c] = true;
+  for (const cell::Instance& i : c.instances()) collect(*i.cell, order, seen);
+  order.push_back(&c);
+}
+
+std::vector<std::int32_t> rectXy(const geom::Rect& r) {
+  return {static_cast<std::int32_t>(r.x0), static_cast<std::int32_t>(r.y0),
+          static_cast<std::int32_t>(r.x1), static_cast<std::int32_t>(r.y0),
+          static_cast<std::int32_t>(r.x1), static_cast<std::int32_t>(r.y1),
+          static_cast<std::int32_t>(r.x0), static_cast<std::int32_t>(r.y1),
+          static_cast<std::int32_t>(r.x0), static_cast<std::int32_t>(r.y0)};
+}
+
+/// GDS models placement as optional reflect-about-x followed by CCW
+/// rotation. Our Orientation decomposes the same way.
+struct GdsOrient {
+  bool reflect;
+  double angleDeg;
+};
+
+GdsOrient gdsOrient(geom::Orientation o) {
+  using geom::Orientation;
+  switch (o) {
+    case Orientation::R0: return {false, 0};
+    case Orientation::R90: return {false, 90};
+    case Orientation::R180: return {false, 180};
+    case Orientation::R270: return {false, 270};
+    case Orientation::MX: return {true, 0};
+    case Orientation::MX90: return {true, 90};
+    case Orientation::MY: return {true, 180};
+    case Orientation::MY90: return {true, 270};
+  }
+  return {false, 0};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> writeGds(const Cell& top, const GdsOptions& opts) {
+  std::vector<const Cell*> order;
+  std::map<const Cell*, bool> seen;
+  collect(top, order, seen);
+
+  Emitter e;
+  e.i16(kHeader, {600});
+  // BGNLIB: creation + modification timestamps (12 i16). Fixed epoch so
+  // output is deterministic and diffable.
+  e.i16(kBgnLib, {1979, 6, 25, 0, 0, 0, 1979, 6, 25, 0, 0, 0});
+  e.ascii(kLibName, opts.libName);
+  e.f64(kUnits, {1.0 / opts.dbPerUser, opts.unitMeters / opts.dbPerUser});
+
+  for (const Cell* c : order) {
+    e.i16(kBgnStr, {1979, 6, 25, 0, 0, 0, 1979, 6, 25, 0, 0, 0});
+    e.ascii(kStrName, c->name());
+    for (const cell::Shape& s : c->shapes()) {
+      const int layer = tech::gdsNumber(s.layer);
+      std::visit(
+          [&](const auto& g) {
+            using T = std::decay_t<decltype(g)>;
+            if constexpr (std::is_same_v<T, geom::Rect>) {
+              e.none(kBoundary);
+              e.i16(kLayer, {static_cast<std::int16_t>(layer)});
+              e.i16(kDatatype, {0});
+              e.i32(kXy, rectXy(g));
+              e.none(kEndEl);
+            } else if constexpr (std::is_same_v<T, geom::Polygon>) {
+              e.none(kBoundary);
+              e.i16(kLayer, {static_cast<std::int16_t>(layer)});
+              e.i16(kDatatype, {0});
+              std::vector<std::int32_t> xy;
+              for (geom::Point p : g.pts) {
+                xy.push_back(static_cast<std::int32_t>(p.x));
+                xy.push_back(static_cast<std::int32_t>(p.y));
+              }
+              // GDS boundaries repeat the first point.
+              if (!g.pts.empty()) {
+                xy.push_back(static_cast<std::int32_t>(g.pts[0].x));
+                xy.push_back(static_cast<std::int32_t>(g.pts[0].y));
+              }
+              e.i32(kXy, xy);
+              e.none(kEndEl);
+            } else {
+              e.none(kPath);
+              e.i16(kLayer, {static_cast<std::int16_t>(layer)});
+              e.i16(kDatatype, {0});
+              e.i32(kWidth, {static_cast<std::int32_t>(g.width)});
+              std::vector<std::int32_t> xy;
+              for (geom::Point p : g.pts) {
+                xy.push_back(static_cast<std::int32_t>(p.x));
+                xy.push_back(static_cast<std::int32_t>(p.y));
+              }
+              e.i32(kXy, xy);
+              e.none(kEndEl);
+            }
+          },
+          s.geo);
+    }
+    for (const cell::Instance& i : c->instances()) {
+      e.none(kSref);
+      e.ascii(kSname, i.cell->name());
+      const GdsOrient go = gdsOrient(i.placement.orient);
+      if (go.reflect || go.angleDeg != 0) {
+        e.i16(kStrans, {static_cast<std::int16_t>(go.reflect ? -32768 : 0)});
+        if (go.angleDeg != 0) e.f64(kAngle, {go.angleDeg});
+      }
+      e.i32(kXy, {static_cast<std::int32_t>(i.placement.offset.x),
+                  static_cast<std::int32_t>(i.placement.offset.y)});
+      e.none(kEndEl);
+    }
+    e.none(kEndStr);
+  }
+  e.none(kEndLib);
+  return e.take();
+}
+
+GdsStats gdsStats(const std::vector<std::uint8_t>& bytes) {
+  GdsStats st;
+  std::size_t pos = 0;
+  bool sawHeader = false, sawEndLib = false;
+  std::string pendingName;
+  while (pos + 4 <= bytes.size()) {
+    const std::size_t len =
+        (static_cast<std::size_t>(bytes[pos]) << 8) | static_cast<std::size_t>(bytes[pos + 1]);
+    if (len < 4 || pos + len > bytes.size()) return st;  // malformed
+    const std::uint8_t type = bytes[pos + 2];
+    switch (type) {
+      case kHeader: sawHeader = true; break;
+      case kBgnStr: ++st.structures; break;
+      case kStrName:
+        pendingName.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                           bytes.begin() + static_cast<std::ptrdiff_t>(pos + len));
+        while (!pendingName.empty() && pendingName.back() == '\0') pendingName.pop_back();
+        st.names.push_back(pendingName);
+        break;
+      case kBoundary: ++st.boundaries; break;
+      case kPath: ++st.paths; break;
+      case kSref: ++st.srefs; break;
+      case kEndLib: sawEndLib = true; break;
+      default: break;
+    }
+    pos += len;
+  }
+  st.wellFormed = sawHeader && sawEndLib && pos == bytes.size();
+  return st;
+}
+
+}  // namespace bb::layout

@@ -1,0 +1,42 @@
+/// \file gds.hpp
+/// GDSII stream-format writer. GDSII postdates the paper (the 1979 system
+/// emitted CIF) but is the format today's downstream tools expect, so the
+/// library offers both. The writer preserves hierarchy: one structure per
+/// cell, SREFs for instances.
+
+#pragma once
+
+#include "cell/cell.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bb::layout {
+
+struct GdsOptions {
+  std::string libName = "BRISTLE";
+  /// Database user unit in meters per layout unit. Quarter-lambda grid at
+  /// lambda = 2.5um: one unit = 0.625um.
+  double unitMeters = 0.625e-6;
+  /// Database units per user unit.
+  double dbPerUser = 1000.0;
+};
+
+/// Serialize `top` and its hierarchy to a GDSII byte stream.
+[[nodiscard]] std::vector<std::uint8_t> writeGds(const cell::Cell& top,
+                                                 const GdsOptions& opts = {});
+
+/// Minimal structural decode of a GDSII stream (record walk) for tests:
+/// counts of structures, boundaries, paths and srefs, plus structure names.
+struct GdsStats {
+  std::size_t structures = 0;
+  std::size_t boundaries = 0;
+  std::size_t paths = 0;
+  std::size_t srefs = 0;
+  std::vector<std::string> names;
+  bool wellFormed = false;
+};
+[[nodiscard]] GdsStats gdsStats(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace bb::layout

@@ -1,0 +1,109 @@
+#include "layout/svg.hpp"
+
+#include <sstream>
+
+namespace bb::layout {
+
+namespace {
+
+void openDoc(std::ostringstream& os, const geom::Rect& bb, const SvgOptions& opts) {
+  const double s = opts.pixelsPerUnit;
+  const double w = static_cast<double>(bb.width()) * s + 20;
+  const double h = static_cast<double>(bb.height()) * s + 20;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
+     << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n";
+  if (!opts.title.empty()) os << "<title>" << opts.title << "</title>\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"#f8f8f4\"/>\n";
+}
+
+struct Mapper {
+  geom::Rect bb;
+  double s;
+  [[nodiscard]] double x(geom::Coord v) const { return (static_cast<double>(v - bb.x0)) * s + 10; }
+  [[nodiscard]] double y(geom::Coord v) const {
+    // SVG y grows downward; layout y grows upward.
+    return (static_cast<double>(bb.y1 - v)) * s + 10;
+  }
+};
+
+void emitRect(std::ostringstream& os, const Mapper& m, const geom::Rect& r, tech::Layer l,
+              double opacity) {
+  os << "<rect x=\"" << m.x(r.x0) << "\" y=\"" << m.y(r.y1) << "\" width=\""
+     << static_cast<double>(r.width()) * m.s << "\" height=\""
+     << static_cast<double>(r.height()) * m.s << "\" fill=\"" << tech::displayColor(l)
+     << "\" fill-opacity=\"" << opacity << "\"/>\n";
+}
+
+void emitFlat(std::ostringstream& os, const Mapper& m, const cell::FlatLayout& flat,
+              double opacity) {
+  // Draw in stack order: diffusion, implant, buried, poly, contact, metal, glass.
+  const tech::Layer order[] = {tech::Layer::Diffusion, tech::Layer::Implant, tech::Layer::Buried,
+                               tech::Layer::Poly,      tech::Layer::Contact, tech::Layer::Metal,
+                               tech::Layer::Glass};
+  for (tech::Layer l : order) {
+    for (const geom::Rect& r : flat.on(l)) emitRect(os, m, r, l, opacity);
+  }
+  for (const auto& [l, p] : flat.polygons) {
+    os << "<polygon points=\"";
+    for (geom::Point q : p.pts) os << m.x(q.x) << ',' << m.y(q.y) << ' ';
+    os << "\" fill=\"" << tech::displayColor(l) << "\" fill-opacity=\"" << opacity << "\"/>\n";
+  }
+}
+
+}  // namespace
+
+std::string renderSvg(const cell::Cell& top, const SvgOptions& opts) {
+  const cell::FlatLayout flat = cell::flatten(top);
+  std::vector<SvgOverlayPoint> overlay;
+  if (opts.drawBristles) {
+    for (const cell::Bristle& b : top.bristles()) {
+      overlay.push_back({b.pos, b.name, "#aa00aa"});
+    }
+  }
+  std::ostringstream os;
+  geom::Rect bb = top.boundary().unionWith(flat.bbox());
+  openDoc(os, bb, opts);
+  const Mapper m{bb, opts.pixelsPerUnit};
+  emitFlat(os, m, flat, opts.fillOpacity);
+  if (opts.drawBoundary) {
+    const geom::Rect b = top.boundary();
+    os << "<rect x=\"" << m.x(b.x0) << "\" y=\"" << m.y(b.y1) << "\" width=\""
+       << static_cast<double>(b.width()) * m.s << "\" height=\""
+       << static_cast<double>(b.height()) * m.s
+       << "\" fill=\"none\" stroke=\"#444\" stroke-dasharray=\"4 3\"/>\n";
+  }
+  for (const SvgOverlayPoint& p : overlay) {
+    os << "<circle cx=\"" << m.x(p.at.x) << "\" cy=\"" << m.y(p.at.y)
+       << "\" r=\"3\" fill=\"" << p.color << "\"/>\n";
+    if (!p.label.empty()) {
+      os << "<text x=\"" << m.x(p.at.x) + 4 << "\" y=\"" << m.y(p.at.y) - 3
+         << "\" font-size=\"8\" fill=\"" << p.color << "\">" << p.label << "</text>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string renderSvg(const cell::FlatLayout& flat, const std::vector<SvgOverlayPoint>& overlay,
+                      const SvgOptions& opts) {
+  std::ostringstream os;
+  geom::Rect bb = flat.bbox();
+  for (const SvgOverlayPoint& p : overlay) {
+    bb = bb.unionWith(geom::Rect{p.at.x, p.at.y, p.at.x, p.at.y});
+  }
+  openDoc(os, bb, opts);
+  const Mapper m{bb, opts.pixelsPerUnit};
+  emitFlat(os, m, flat, opts.fillOpacity);
+  for (const SvgOverlayPoint& p : overlay) {
+    os << "<circle cx=\"" << m.x(p.at.x) << "\" cy=\"" << m.y(p.at.y)
+       << "\" r=\"3\" fill=\"" << p.color << "\"/>\n";
+    if (!p.label.empty()) {
+      os << "<text x=\"" << m.x(p.at.x) + 4 << "\" y=\"" << m.y(p.at.y) - 3
+         << "\" font-size=\"8\" fill=\"" << p.color << "\">" << p.label << "</text>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace bb::layout

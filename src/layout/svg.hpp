@@ -1,0 +1,37 @@
+/// \file svg.hpp
+/// SVG rendering of layouts, for humans. Renders flattened artwork in the
+/// Mead–Conway colour convention with optional bristle markers — the
+/// modern stand-in for the pen plotter the 1979 system drew on.
+
+#pragma once
+
+#include "cell/cell.hpp"
+#include "cell/flatten.hpp"
+
+#include <string>
+
+namespace bb::layout {
+
+struct SvgOptions {
+  double pixelsPerUnit = 0.5;
+  double fillOpacity = 0.55;
+  bool drawBristles = true;
+  bool drawBoundary = true;
+  std::string title;
+};
+
+/// Render a cell (flattened) to an SVG document.
+[[nodiscard]] std::string renderSvg(const cell::Cell& top, const SvgOptions& opts = {});
+
+/// Render pre-flattened artwork with an optional overlay of labelled
+/// points (used by the sticks / block representations and pad-ring demos).
+struct SvgOverlayPoint {
+  geom::Point at;
+  std::string label;
+  std::string color = "#000000";
+};
+[[nodiscard]] std::string renderSvg(const cell::FlatLayout& flat,
+                                    const std::vector<SvgOverlayPoint>& overlay,
+                                    const SvgOptions& opts = {});
+
+}  // namespace bb::layout

@@ -1,0 +1,104 @@
+#include "netlist/logic.hpp"
+
+#include <sstream>
+
+namespace bb::netlist {
+
+char levelChar(Level l) noexcept {
+  switch (l) {
+    case Level::L0: return '0';
+    case Level::L1: return '1';
+    case Level::LX: return 'X';
+    case Level::LZ: return 'Z';
+  }
+  return '?';
+}
+
+Level levelFromBool(bool b) noexcept { return b ? Level::L1 : Level::L0; }
+
+std::string_view gateName(GateKind k) noexcept {
+  switch (k) {
+    case GateKind::Inv: return "INV";
+    case GateKind::Buf: return "BUF";
+    case GateKind::Nand: return "NAND";
+    case GateKind::Nor: return "NOR";
+    case GateKind::And: return "AND";
+    case GateKind::Or: return "OR";
+    case GateKind::Xor: return "XOR";
+    case GateKind::Latch: return "LATCH";
+    case GateKind::Precharge: return "PRECHG";
+    case GateKind::PullDown: return "PULLDN";
+    case GateKind::Drive: return "DRIVE";
+    case GateKind::Const0: return "CONST0";
+    case GateKind::Const1: return "CONST1";
+  }
+  return "?";
+}
+
+bool isBusDriver(GateKind k) noexcept {
+  return k == GateKind::Precharge || k == GateKind::PullDown || k == GateKind::Drive;
+}
+
+int LogicModel::signal(const std::string& name) {
+  auto it = byName_.find(name);
+  if (it != byName_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.push_back(name);
+  isBus_.push_back(false);
+  byName_[name] = id;
+  return id;
+}
+
+int LogicModel::internalSignal(const std::string& hint) {
+  std::string name = (hint.empty() ? "w" : hint) + "$" + std::to_string(anon_++);
+  while (byName_.contains(name)) name += "'";
+  return signal(name);
+}
+
+void LogicModel::markBus(int sig) { isBus_[static_cast<std::size_t>(sig)] = true; }
+
+void LogicModel::add(GateKind kind, std::vector<int> in, int out, std::string name) {
+  gates_.push_back(Gate{kind, std::move(in), out, std::move(name)});
+}
+
+int LogicModel::findSignal(const std::string& name) const noexcept {
+  auto it = byName_.find(name);
+  return it == byName_.end() ? -1 : it->second;
+}
+
+void LogicModel::merge(const LogicModel& other) {
+  std::vector<int> remap(other.names_.size());
+  for (std::size_t i = 0; i < other.names_.size(); ++i) {
+    remap[i] = signal(other.names_[i]);
+    if (other.isBus_[i]) markBus(remap[i]);
+  }
+  for (const Gate& g : other.gates_) {
+    Gate ng = g;
+    for (int& s : ng.in) s = remap[static_cast<std::size_t>(s)];
+    ng.out = remap[static_cast<std::size_t>(g.out)];
+    gates_.push_back(std::move(ng));
+  }
+}
+
+std::string LogicModel::toText() const {
+  std::ostringstream os;
+  os << "logic diagram: " << gates_.size() << " gates, " << names_.size() << " signals\n";
+  for (const Gate& g : gates_) {
+    os << "  " << gateName(g.kind) << ' ' << names_[static_cast<std::size_t>(g.out)] << " <- ";
+    for (std::size_t i = 0; i < g.in.size(); ++i) {
+      if (i) os << ", ";
+      os << names_[static_cast<std::size_t>(g.in[i])];
+    }
+    if (!g.name.empty()) os << "    (" << g.name << ')';
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::map<std::string, std::size_t> LogicModel::histogram() const {
+  std::map<std::string, std::size_t> h;
+  for (const Gate& g : gates_) ++h[std::string(gateName(g.kind))];
+  return h;
+}
+
+}  // namespace bb::netlist

@@ -1,0 +1,23 @@
+/// \file spice.hpp
+/// SPICE deck writer for extracted transistor netlists, so the chips this
+/// compiler produces can be handed to a circuit simulator — the paper's
+/// "hooks for the circuit simulator", completed.
+
+#pragma once
+
+#include "netlist/transistor.hpp"
+
+#include <string>
+
+namespace bb::netlist {
+
+struct SpiceOptions {
+  std::string title = "bristle blocks extracted netlist";
+  /// Lambda in microns, used to scale W/L from grid units.
+  double lambdaMicrons = 2.5;
+  int unitsPerLambda = 4;
+};
+
+[[nodiscard]] std::string writeSpice(const TransistorNetlist& nl, const SpiceOptions& opts = {});
+
+}  // namespace bb::netlist

@@ -1,0 +1,19 @@
+/// \file blockrep.hpp
+/// Block diagram: "the arrangement of the buses and core elements" —
+/// Figures 1 and 2 of the paper, regenerated for any compiled chip.
+
+#pragma once
+
+#include "core/chip.hpp"
+
+#include <string>
+
+namespace bb::reps {
+
+/// ASCII block diagram (physical format: pads / decoder / core).
+[[nodiscard]] std::string blockDiagram(const core::CompiledChip& chip);
+
+/// Logical-format diagram: buses through elements, control from above.
+[[nodiscard]] std::string logicalDiagram(const core::CompiledChip& chip);
+
+}  // namespace bb::reps

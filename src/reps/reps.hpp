@@ -1,0 +1,58 @@
+/// \file reps.hpp
+/// The seven representations. "Bristle Blocks is designed to handle the
+/// following seven representations: Layout, Sticks, Transistors, Logic,
+/// Text, Simulation, Block." Every compiled chip can produce all of
+/// them; this is the dispatcher.
+
+#pragma once
+
+#include "core/chip.hpp"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bb::reps {
+
+enum class Representation : std::uint8_t {
+  Layout = 0,   ///< the actual chip masks (CIF / GDS / SVG)
+  Sticks,       ///< single-width-line topology diagram
+  Transistors,  ///< extracted transistor diagram
+  Logic,        ///< TTL-style logic diagram
+  Text,         ///< hierarchical "user's manual"
+  Simulation,   ///< executable logic model summary
+  Block,        ///< block diagram of buses and core elements
+};
+
+inline constexpr std::array<Representation, 7> kAllRepresentations = {
+    Representation::Layout,      Representation::Sticks, Representation::Transistors,
+    Representation::Logic,       Representation::Text,   Representation::Simulation,
+    Representation::Block};
+
+[[nodiscard]] std::string_view representationName(Representation r) noexcept;
+
+/// Everything generated for one chip.
+struct RepresentationSet {
+  std::string cif;           ///< Layout (CIF 2.0 mask set)
+  std::vector<std::uint8_t> gds;  ///< Layout (GDSII stream)
+  std::string layoutSvg;     ///< Layout (human-viewable)
+  std::string sticksText;
+  std::string sticksSvg;
+  std::string transistorText;
+  std::string logicText;
+  std::string userManual;
+  std::string simulationText;
+  std::string blockText;
+
+  /// Count of non-empty artifacts (the PCT80 bench checks this is 7/7).
+  [[nodiscard]] int populatedCount() const noexcept;
+};
+
+/// Generate every representation for the chip.
+[[nodiscard]] RepresentationSet generateAll(const core::CompiledChip& chip);
+
+/// Generate a single representation's primary text artifact.
+[[nodiscard]] std::string generateText(const core::CompiledChip& chip, Representation r);
+
+}  // namespace bb::reps

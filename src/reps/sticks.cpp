@@ -1,0 +1,76 @@
+#include "reps/sticks.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace bb::reps {
+
+std::vector<Stick> sticksOf(const cell::FlatLayout& flat) {
+  std::vector<Stick> out;
+  for (tech::Layer l : tech::kAllLayers) {
+    for (const geom::Rect& r : flat.on(l)) {
+      Stick s;
+      s.layer = l;
+      if (r.width() >= r.height()) {
+        s.a = {r.x0, (r.y0 + r.y1) / 2};
+        s.b = {r.x1, (r.y0 + r.y1) / 2};
+      } else {
+        s.a = {(r.x0 + r.x1) / 2, r.y0};
+        s.b = {(r.x0 + r.x1) / 2, r.y1};
+      }
+      out.push_back(s);
+    }
+  }
+  for (const auto& [l, p] : flat.polygons) {
+    const geom::Rect r = p.bbox();
+    out.push_back(Stick{l, {r.x0, (r.y0 + r.y1) / 2}, {r.x1, (r.y0 + r.y1) / 2}});
+  }
+  return out;
+}
+
+std::string sticksText(const std::vector<Stick>& sticks) {
+  std::map<tech::Layer, std::size_t> perLayer;
+  geom::Coord totalLen = 0;
+  for (const Stick& s : sticks) {
+    ++perLayer[s.layer];
+    totalLen += geom::manhattan(s.a, s.b);
+  }
+  std::ostringstream os;
+  os << "sticks diagram: " << sticks.size() << " sticks, total length "
+     << totalLen / geom::kUnitsPerLambda << "L\n";
+  for (const auto& [l, n] : perLayer) {
+    os << "  " << tech::layerName(l) << ": " << n << "\n";
+  }
+  return os.str();
+}
+
+std::string sticksSvg(const std::vector<Stick>& sticks, double pixelsPerUnit) {
+  geom::Rect bb{};
+  bool first = true;
+  for (const Stick& s : sticks) {
+    const geom::Rect r{s.a.x, s.a.y, s.b.x, s.b.y};
+    bb = first ? r : bb.unionWith(r);
+    first = false;
+  }
+  std::ostringstream os;
+  const double w = static_cast<double>(bb.width()) * pixelsPerUnit + 20;
+  const double h = static_cast<double>(bb.height()) * pixelsPerUnit + 20;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
+     << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+  auto X = [&](geom::Coord v) { return (static_cast<double>(v - bb.x0)) * pixelsPerUnit + 10; };
+  auto Y = [&](geom::Coord v) { return (static_cast<double>(bb.y1 - v)) * pixelsPerUnit + 10; };
+  for (const Stick& s : sticks) {
+    if (s.a == s.b) {
+      os << "<circle cx=\"" << X(s.a.x) << "\" cy=\"" << Y(s.a.y) << "\" r=\"1.5\" fill=\""
+         << tech::displayColor(s.layer) << "\"/>\n";
+    } else {
+      os << "<line x1=\"" << X(s.a.x) << "\" y1=\"" << Y(s.a.y) << "\" x2=\"" << X(s.b.x)
+         << "\" y2=\"" << Y(s.b.y) << "\" stroke=\"" << tech::displayColor(s.layer)
+         << "\" stroke-width=\"1\"/>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace bb::reps

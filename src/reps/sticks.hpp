@@ -1,0 +1,33 @@
+/// \file sticks.hpp
+/// Sticks diagrams: "the same topology as the layout, but with all of the
+/// features reduced to single-width lines. The resulting diagram is much
+/// easier to comprehend than the full layout diagram."
+
+#pragma once
+
+#include "cell/cell.hpp"
+#include "cell/flatten.hpp"
+
+#include <string>
+
+namespace bb::reps {
+
+/// One stick: a centerline on a layer.
+struct Stick {
+  tech::Layer layer;
+  geom::Point a;
+  geom::Point b;
+};
+
+/// Reduce flattened artwork to sticks: every rectangle becomes its long
+/// centerline (squares become points, kept as zero-length sticks so
+/// contacts stay visible).
+[[nodiscard]] std::vector<Stick> sticksOf(const cell::FlatLayout& flat);
+
+/// Text summary (counts per layer + extents).
+[[nodiscard]] std::string sticksText(const std::vector<Stick>& sticks);
+
+/// SVG rendering with the Mead–Conway colours, single-width lines.
+[[nodiscard]] std::string sticksSvg(const std::vector<Stick>& sticks, double pixelsPerUnit = 0.5);
+
+}  // namespace bb::reps

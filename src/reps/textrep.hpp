@@ -1,0 +1,14 @@
+/// \file textrep.hpp
+/// Text representation generator.
+
+#pragma once
+
+#include "core/chip.hpp"
+
+#include <string>
+
+namespace bb::reps {
+
+[[nodiscard]] std::string userManual(const core::CompiledChip& chip);
+
+}  // namespace bb::reps

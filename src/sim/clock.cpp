@@ -1,0 +1,41 @@
+#include "sim/clock.hpp"
+
+namespace bb::sim {
+
+TwoPhaseClock::TwoPhaseClock(Simulator& sim, std::string phi1, std::string phi2)
+    : sim_(sim), phi1_(std::move(phi1)), phi2_(std::move(phi2)) {
+  // Establish both-low so the first quarter is a clean phi1 rise.
+  sim_.set(phi1_, Level::L0);
+  sim_.set(phi2_, Level::L0);
+  sim_.settle();
+}
+
+void TwoPhaseClock::apply() {
+  sim_.set(phi1_, q_ == 0 ? Level::L1 : Level::L0);
+  sim_.set(phi2_, q_ == 2 ? Level::L1 : Level::L0);
+  sim_.settle();
+}
+
+void TwoPhaseClock::quarter() {
+  q_ = (q_ + 1) % 4;
+  if (q_ == 0) ++cycles_;
+  apply();
+}
+
+void TwoPhaseClock::cycle() {
+  for (int i = 0; i < 4; ++i) quarter();
+}
+
+void TwoPhaseClock::toPhi1() {
+  do {
+    quarter();
+  } while (q_ != 0);
+}
+
+void TwoPhaseClock::toPhi2() {
+  do {
+    quarter();
+  } while (q_ != 2);
+}
+
+}  // namespace bb::sim

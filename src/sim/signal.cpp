@@ -1,0 +1,44 @@
+#include "sim/signal.hpp"
+
+namespace bb::sim {
+
+namespace {
+Level norm(Level a) noexcept { return a == Level::LZ ? Level::LX : a; }
+}  // namespace
+
+Level simNot(Level a) noexcept {
+  switch (norm(a)) {
+    case Level::L0: return Level::L1;
+    case Level::L1: return Level::L0;
+    default: return Level::LX;
+  }
+}
+
+Level simAnd(Level a, Level b) noexcept {
+  a = norm(a);
+  b = norm(b);
+  if (a == Level::L0 || b == Level::L0) return Level::L0;
+  if (a == Level::L1 && b == Level::L1) return Level::L1;
+  return Level::LX;
+}
+
+Level simOr(Level a, Level b) noexcept {
+  a = norm(a);
+  b = norm(b);
+  if (a == Level::L1 || b == Level::L1) return Level::L1;
+  if (a == Level::L0 && b == Level::L0) return Level::L0;
+  return Level::LX;
+}
+
+Level simXor(Level a, Level b) noexcept {
+  a = norm(a);
+  b = norm(b);
+  if (a == Level::LX || b == Level::LX) return Level::LX;
+  return (a == b) ? Level::L0 : Level::L1;
+}
+
+bool isHigh(Level a) noexcept { return a == Level::L1; }
+bool isLow(Level a) noexcept { return a == Level::L0; }
+bool isKnown(Level a) noexcept { return a == Level::L0 || a == Level::L1; }
+
+}  // namespace bb::sim

@@ -1,0 +1,25 @@
+/// \file signal.hpp
+/// Level algebra for the 4-state simulator.
+
+#pragma once
+
+#include "netlist/logic.hpp"
+
+namespace bb::sim {
+
+using netlist::Level;
+
+/// Boolean ops over {0,1,X,Z}; Z is treated as X when consumed as input.
+[[nodiscard]] Level simNot(Level a) noexcept;
+[[nodiscard]] Level simAnd(Level a, Level b) noexcept;
+[[nodiscard]] Level simOr(Level a, Level b) noexcept;
+[[nodiscard]] Level simXor(Level a, Level b) noexcept;
+
+/// True when the level is definitely high.
+[[nodiscard]] bool isHigh(Level a) noexcept;
+/// True when the level is definitely low.
+[[nodiscard]] bool isLow(Level a) noexcept;
+/// True when the level is 0 or 1.
+[[nodiscard]] bool isKnown(Level a) noexcept;
+
+}  // namespace bb::sim

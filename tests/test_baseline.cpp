@@ -1,0 +1,75 @@
+/// Baseline tests: the hand-layout comparators behave as the paper's
+/// argument predicts (stretching beats variable pitch + routing; the
+/// compiled area is within the claimed band of ideal hand layout).
+
+#include "baseline/handlayout.hpp"
+#include "core/compiler.hpp"
+#include "core/samples.hpp"
+#include "icl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+TEST(Baseline, RoutedCoreBuildsWithChannels) {
+  icl::DiagnosticList diags;
+  auto desc = icl::parseChip(core::samples::smallChip(8), diags);
+  ASSERT_TRUE(desc.has_value()) << diags.toString();
+  cell::CellLibrary lib;
+  const auto res = baseline::buildRoutedCore(*desc, {}, lib, diags);
+  ASSERT_TRUE(res.ok) << res.error;
+  // The ALU's pitch differs from everyone else's: at least two channels
+  // (entering and leaving the ALU).
+  EXPECT_GE(res.channels, 2u);
+  EXPECT_GT(res.routingWidth, 0);
+  EXPECT_GT(res.area, 0);
+}
+
+TEST(Baseline, StretchedCoreBeatsRoutedCore) {
+  // The design decision the paper states: "To save the space and costly
+  // routing needed if cell widths vary, a design constraint states that
+  // all cells must be of equal width."
+  icl::DiagnosticList diags;
+  core::Compiler c;
+  auto chip = c.compile(core::samples::smallChip(8), diags);
+  ASSERT_NE(chip, nullptr) << diags.toString();
+
+  icl::DiagnosticList d2;
+  auto desc = icl::parseChip(core::samples::smallChip(8), d2);
+  cell::CellLibrary lib;
+  const auto routed = baseline::buildRoutedCore(*desc, {}, lib, d2);
+  ASSERT_TRUE(routed.ok) << routed.error;
+
+  EXPECT_LT(chip->stats.coreArea, routed.area)
+      << "stretching to a common pitch should beat river routing";
+}
+
+TEST(Baseline, CompiledWithinBandOfIdealHand) {
+  // The paper: compiled chips land within roughly +/-10% of hand layout.
+  // Our ideal-hand bound has zero routing overhead, so compiled should
+  // land above it but within ~35% (the claim's shape).
+  icl::DiagnosticList diags;
+  core::Compiler c;
+  auto chip = c.compile(core::samples::smallChip(8), diags);
+  ASSERT_NE(chip, nullptr) << diags.toString();
+  const geom::Coord hand = baseline::idealHandCoreArea(*chip);
+  ASSERT_GT(hand, 0);
+  const double ratio = static_cast<double>(chip->stats.coreArea) / static_cast<double>(hand);
+  EXPECT_GE(ratio, 1.0);
+  EXPECT_LE(ratio, 1.35) << "compiled core should stay close to ideal hand area";
+}
+
+TEST(Baseline, RoutedCoreHonorsConditionalAssembly) {
+  icl::DiagnosticList diags;
+  auto desc = icl::parseChip(core::samples::prototypeChip(), diags);
+  ASSERT_TRUE(desc.has_value());
+  cell::CellLibrary lib1, lib2;
+  const auto proto = baseline::buildRoutedCore(*desc, {{"PROTOTYPE", true}}, lib1, diags);
+  const auto prod = baseline::buildRoutedCore(*desc, {{"PROTOTYPE", false}}, lib2, diags);
+  ASSERT_TRUE(proto.ok && prod.ok);
+  EXPECT_GT(proto.width, prod.width);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,202 @@
+/// Procedural cell model: bristles, boundaries, stretching (the paper's
+/// "painless operation"), flattening, and the textual cell library.
+
+#include "cell/flatten.hpp"
+#include "cell/library.hpp"
+#include "cell/stretch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::cell {
+namespace {
+
+using geom::lambda;
+using geom::Point;
+using geom::Rect;
+using tech::Layer;
+
+Cell makeTestCell() {
+  Cell c("t");
+  c.addRect(Layer::Metal, Rect{0, 0, lambda(20), lambda(3)});           // below line
+  c.addRect(Layer::Poly, Rect{lambda(2), lambda(2), lambda(4), lambda(12)});  // crossing
+  c.addRect(Layer::Diffusion, Rect{0, lambda(8), lambda(4), lambda(10)});     // above line
+  c.addStretch(StretchAxis::Y, lambda(5), "mid");
+  c.setBoundary(Rect{0, 0, lambda(20), lambda(12)});
+  Bristle b;
+  b.name = "p";
+  b.pos = {lambda(10), lambda(12)};
+  b.side = Side::North;
+  c.addBristle(b);
+  return c;
+}
+
+TEST(Stretch, MovesWidensAndTranslates) {
+  const Cell c = makeTestCell();
+  const Cell s = stretched(c, StretchAxis::Y, lambda(5), lambda(7));
+  // Below the line: unchanged.
+  EXPECT_EQ(std::get<Rect>(s.shapes()[0].geo), (Rect{0, 0, lambda(20), lambda(3)}));
+  // Crossing: widened by 7L.
+  EXPECT_EQ(std::get<Rect>(s.shapes()[1].geo),
+            (Rect{lambda(2), lambda(2), lambda(4), lambda(19)}));
+  // Above: translated by 7L.
+  EXPECT_EQ(std::get<Rect>(s.shapes()[2].geo), (Rect{0, lambda(15), lambda(4), lambda(17)}));
+  // Boundary grew; bristle moved.
+  EXPECT_EQ(s.height(), lambda(19));
+  EXPECT_EQ(s.bristles()[0].pos.y, lambda(19));
+}
+
+TEST(Stretch, ZeroDeltaIsIdentity) {
+  const Cell c = makeTestCell();
+  const Cell s = stretched(c, StretchAxis::Y, lambda(5), 0);
+  EXPECT_EQ(s.height(), c.height());
+  EXPECT_EQ(std::get<Rect>(s.shapes()[1].geo), std::get<Rect>(c.shapes()[1].geo));
+}
+
+TEST(Stretch, ComposesAdditively) {
+  // Stretching by a then b equals stretching by a+b (at the same line).
+  const Cell c = makeTestCell();
+  const Cell ab = stretched(stretched(c, StretchAxis::Y, lambda(5), lambda(3)),
+                            StretchAxis::Y, lambda(5), lambda(4));
+  const Cell once = stretched(c, StretchAxis::Y, lambda(5), lambda(7));
+  ASSERT_EQ(ab.shapes().size(), once.shapes().size());
+  for (std::size_t i = 0; i < ab.shapes().size(); ++i) {
+    EXPECT_EQ(ab.shapes()[i].bbox(), once.shapes()[i].bbox()) << i;
+  }
+}
+
+TEST(Stretch, GrowsAreaOnlyByCrossingShapes) {
+  const Cell c = makeTestCell();
+  const Cell s = stretched(c, StretchAxis::Y, lambda(5), lambda(7));
+  // Total area grows exactly by (widened widths x delta).
+  geom::Coord grew = 0;
+  for (std::size_t i = 0; i < c.shapes().size(); ++i) {
+    grew += s.shapes()[i].bbox().area() - c.shapes()[i].bbox().area();
+  }
+  EXPECT_EQ(grew, lambda(2) * lambda(7));  // only the crossing 2L-wide poly
+}
+
+TEST(StretchToExtent, DistributesOverLines) {
+  Cell c("two");
+  c.addRect(Layer::Metal, Rect{0, 0, lambda(30), lambda(3)});
+  c.addStretch(StretchAxis::X, lambda(10), "a");
+  c.addStretch(StretchAxis::X, lambda(20), "b");
+  c.setBoundary(Rect{0, 0, lambda(30), lambda(3)});
+  const FitResult r = stretchedToExtent(c, StretchAxis::X, lambda(41));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.cell.width(), lambda(41));
+}
+
+TEST(StretchToExtent, RefusesShrink) {
+  Cell c("s");
+  c.addRect(Layer::Metal, Rect{0, 0, lambda(30), lambda(3)});
+  c.setBoundary(Rect{0, 0, lambda(30), lambda(3)});
+  const FitResult r = stretchedToExtent(c, StretchAxis::X, lambda(10));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(StretchToExtent, RefusesWithoutLines) {
+  Cell c("n");
+  c.addRect(Layer::Metal, Rect{0, 0, lambda(10), lambda(3)});
+  c.setBoundary(Rect{0, 0, lambda(10), lambda(3)});
+  const FitResult r = stretchedToExtent(c, StretchAxis::X, lambda(20));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("no stretch line"), std::string::npos);
+}
+
+TEST(Flatten, TransformsHierarchy) {
+  CellLibrary lib;
+  Cell* leaf = lib.create("leaf");
+  leaf->addRect(Layer::Poly, Rect{0, 0, lambda(2), lambda(4)});
+  Cell* mid = lib.create("mid");
+  mid->addInstance(leaf, geom::Transform{geom::Orientation::R90, {lambda(10), 0}});
+  Cell* top = lib.create("top");
+  top->addInstance(mid, geom::Transform::translate({lambda(100), lambda(100)}));
+
+  const FlatLayout flat = flatten(*top);
+  ASSERT_EQ(flat.on(Layer::Poly).size(), 1u);
+  // R90 of [0,0,2,4] is [-4,0,0,2]; +10 in x; +100,+100.
+  EXPECT_EQ(flat.on(Layer::Poly)[0],
+            (Rect{lambda(106), lambda(100), lambda(110), lambda(102)}));
+}
+
+TEST(Flatten, CountsAllLevels) {
+  CellLibrary lib;
+  Cell* leaf = lib.create("leaf");
+  leaf->addRect(Layer::Metal, Rect{0, 0, 4, 4});
+  Cell* top = lib.create("top");
+  for (int i = 0; i < 5; ++i) {
+    top->addInstance(leaf, geom::Transform::translate({i * 10, 0}));
+  }
+  top->addRect(Layer::Poly, Rect{0, 0, 2, 2});
+  EXPECT_EQ(flatten(*top).totalCount(), 6u);
+  EXPECT_EQ(top->totalShapeCount(), 6u);
+}
+
+TEST(Library, UniqueNamesAndLookup) {
+  CellLibrary lib;
+  Cell* a = lib.create("x");
+  Cell* b = lib.create("x");
+  EXPECT_NE(a->name(), b->name());
+  EXPECT_EQ(lib.find(a->name()), a);
+  EXPECT_EQ(lib.find("nosuch"), nullptr);
+}
+
+TEST(Library, SaveLoadRoundTrip) {
+  CellLibrary lib;
+  Cell* leaf = lib.create("leaf");
+  leaf->addRect(Layer::Diffusion, Rect{0, 0, lambda(4), lambda(4)});
+  Cell* c = lib.create("rt");
+  c->addRect(Layer::Metal, Rect{0, 0, lambda(10), lambda(3)});
+  geom::Path w;
+  w.width = lambda(2);
+  w.pts = {{0, 0}, {lambda(8), 0}};
+  c->addPath(Layer::Poly, w);
+  c->addInstance(leaf, geom::Transform{geom::Orientation::MX, {lambda(5), lambda(5)}});
+  c->addStretch(StretchAxis::Y, lambda(2), "line");
+  c->setBoundary(Rect{0, 0, lambda(12), lambda(12)});
+  Bristle b;
+  b.name = "in";
+  b.flavor = BristleFlavor::BusA;
+  b.side = Side::West;
+  b.pos = {0, lambda(6)};
+  b.layer = Layer::Metal;
+  b.width = lambda(3);
+  c->addBristle(b);
+
+  const std::string text = lib.saveCell(*c);
+  CellLibrary lib2;
+  Cell* leaf2 = lib2.create("leaf");
+  leaf2->addRect(Layer::Diffusion, Rect{0, 0, lambda(4), lambda(4)});
+  auto res = lib2.loadCell(text);
+  ASSERT_NE(res.cell, nullptr) << res.error;
+  EXPECT_EQ(res.cell->shapes().size(), c->shapes().size());
+  EXPECT_EQ(res.cell->bristles().size(), 1u);
+  EXPECT_EQ(res.cell->bristles()[0].flavor, BristleFlavor::BusA);
+  EXPECT_EQ(res.cell->stretchLines().size(), 1u);
+  EXPECT_EQ(res.cell->boundary(), c->boundary());
+  EXPECT_EQ(res.cell->instances().size(), 1u);
+  EXPECT_EQ(res.cell->instances()[0].placement.orient, geom::Orientation::MX);
+}
+
+TEST(Library, LoadRejectsMalformed) {
+  CellLibrary lib;
+  auto r1 = lib.loadCell("rect ND 0 0 4 4\n");
+  EXPECT_EQ(r1.cell, nullptr);
+  auto r2 = lib.loadCell("cell z\nrect XX 0 0 4 4\nend\n");
+  EXPECT_EQ(r2.cell, nullptr);
+  EXPECT_NE(r2.error.find("unknown layer"), std::string::npos);
+}
+
+TEST(Power, AggregatesThroughHierarchy) {
+  CellLibrary lib;
+  Cell* leaf = lib.create("leaf");
+  leaf->setOwnPower(50.0);
+  Cell* top = lib.create("top");
+  top->setOwnPower(10.0);
+  top->addInstance(leaf, {});
+  top->addInstance(leaf, {});
+  EXPECT_DOUBLE_EQ(top->powerDemand(), 110.0);
+}
+
+}  // namespace
+}  // namespace bb::cell

@@ -1,0 +1,146 @@
+/// Full-chip simulation: "software can be written for the chip to explore
+/// the feasibility of the design" — we write and run microcode programs
+/// against compiled chips and check the architectural results.
+
+#include "core/compiler.hpp"
+#include "core/samples.hpp"
+#include "sim/testbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+/// Microcode word builder for the small chip (op [0:2], misc [4:7]).
+unsigned long long mc(unsigned op, unsigned misc = 0) { return (op & 7u) | (misc << 4); }
+
+constexpr unsigned kLoadRA = 1, kOperands = 3, kStore = 4, kOut = 5;
+constexpr unsigned kAluAdd = 0, kAluAnd = 1, kAluOr = 2, kAluPassA = 3;
+
+class SmallChipSim : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    icl::DiagnosticList diags;
+    core::Compiler c;
+    chip_ = c.compile(core::samples::smallChip(8), diags);
+    ASSERT_NE(chip_, nullptr) << diags.toString();
+    sim_ = std::make_unique<sim::Simulator>(chip_->logic);
+  }
+
+  /// Drive the input pads with a value (pads are named IN.pad<i>).
+  void setInput(unsigned long long v) {
+    for (int i = 0; i < 8; ++i) {
+      sim_->setBool("pad.IN.pad" + std::to_string(i), (v >> i) & 1);
+    }
+  }
+
+  unsigned long long readOutput() {
+    unsigned long long v = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (sim_->getBool("pad.OUT.pad" + std::to_string(i))) v |= 1ull << i;
+    }
+    return v;
+  }
+
+  /// Run one ALU operation (a OP b) through the full datapath and return
+  /// the value observed on the output pads.
+  unsigned long long runOp(unsigned aluOp, unsigned long long a, unsigned long long b) {
+    sim::Testbench tb(*sim_, chip_->desc.microcode.width, 8);
+    setInput(b);
+    tb.run({mc(kLoadRA)});          // RA := b
+    setInput(a);
+    tb.run({mc(kOperands, aluOp)}); // latch (a, RA); compute in phi2
+    tb.run({mc(kStore, aluOp)});    // ACC := result
+    tb.run({mc(kOut)});             // pads := ACC
+    return readOutput();
+  }
+
+  std::unique_ptr<core::CompiledChip> chip_;
+  std::unique_ptr<sim::Simulator> sim_;
+};
+
+TEST_F(SmallChipSim, AddExecutes) {
+  EXPECT_EQ(runOp(kAluAdd, 5, 7), 12u);
+}
+
+TEST_F(SmallChipSim, AddWrapsAtWordWidth) {
+  EXPECT_EQ(runOp(kAluAdd, 200, 100), (200u + 100u) & 0xffu);
+}
+
+TEST_F(SmallChipSim, AndExecutes) {
+  EXPECT_EQ(runOp(kAluAnd, 0xcc, 0xaa), 0xccu & 0xaau);
+}
+
+TEST_F(SmallChipSim, OrExecutes) {
+  EXPECT_EQ(runOp(kAluOr, 0x41, 0x0e), 0x41u | 0x0eu);
+}
+
+TEST_F(SmallChipSim, PassAExecutes) {
+  EXPECT_EQ(runOp(kAluPassA, 0x5a, 0xff), 0x5au);
+}
+
+TEST_F(SmallChipSim, RegisterHoldsAcrossIdleCycles) {
+  sim::Testbench tb(*sim_, chip_->desc.microcode.width, 8);
+  setInput(0x3c);
+  tb.run({mc(kLoadRA)});
+  setInput(0);                           // change pads; RA must hold
+  tb.run({mc(0), mc(0), mc(0)});         // NOPs
+  tb.run({mc(kOperands, kAluAdd)});      // a=pads(0) + b=RA(0x3c)
+  tb.run({mc(kStore, kAluAdd), mc(kOut)});
+  EXPECT_EQ(readOutput(), 0x3cu);
+}
+
+TEST_F(SmallChipSim, BusReadsAllOnesWhenUndriven) {
+  // The precharged bus with no driver carries all ones during phi1.
+  // Cycle 1 is a warm-up: before the first phi2 the bus has never been
+  // precharged and floats at X (exactly as on real silicon at power-on).
+  sim::Testbench tb(*sim_, chip_->desc.microcode.width, 8);
+  auto trace = tb.run({mc(0), mc(0)});
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1].busA, 0xffu);
+  EXPECT_EQ(trace[1].busB, 0xffu);
+}
+
+TEST_F(SmallChipSim, InputPortDrivesBusDuringPhi1) {
+  sim::Testbench tb(*sim_, chip_->desc.microcode.width, 8);
+  setInput(0x2d);
+  auto trace = tb.run({mc(0), mc(kLoadRA)});  // warm-up NOP precharges
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1].busA, 0x2du);
+}
+
+TEST_F(SmallChipSim, AccumulateLoop) {
+  // ACC := 1+1; then repeatedly ACC := ACC?  The datapath has no ACC->ALU
+  // path, so emulate a counting loop through RA: RA:=k, result=k+k.
+  for (unsigned k = 1; k <= 5; ++k) {
+    EXPECT_EQ(runOp(kAluAdd, k, k), 2 * k) << "k=" << k;
+  }
+}
+
+TEST(ChipSimSegmented, SegmentsAreElectricallySeparate) {
+  icl::DiagnosticList diags;
+  core::Compiler c;
+  auto chip = c.compile(core::samples::segmentedChip(8), diags);
+  ASSERT_NE(chip, nullptr) << diags.toString();
+  sim::Simulator sim(chip->logic);
+  // Drive input pads, execute op==1 (IN drives segment-1 of A)... then
+  // check that the two B segments resolve independently: write R0 via
+  // op==2, read it on segment 1 of B with op==3 while segment 2 stays
+  // precharged-high.
+  for (int i = 0; i < 8; ++i) sim.setBool("pad.IN.pad" + std::to_string(i), false);
+  sim::Testbench tb(sim, chip->desc.microcode.width, 8);
+  tb.run({1});          // IN (0x00) -> bus A
+  tb.run({2});          // R0 := bus A? (op2 = R0 load; IN not driving: all ones)
+  auto trace = tb.run({3});  // R0 -> B segment 1; OUT1 samples
+  ASSERT_EQ(trace.size(), 1u);
+  // Segment 2 of bus B (prefix busB#2) must be all ones (precharged, no
+  // driver), independent of segment 1's value.
+  unsigned long long seg2 = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (sim.getBool("busB#2" + std::to_string(i))) seg2 |= 1ull << i;
+  }
+  EXPECT_EQ(seg2, 0xffu);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,100 @@
+/// End-to-end smoke tests: the whole three-pass compiler on the sample
+/// chips, checking the invariants the paper promises.
+
+#include "core/compiler.hpp"
+#include "core/samples.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+std::unique_ptr<core::CompiledChip> compileOrDie(const std::string& src,
+                                                 core::CompileOptions opts = {}) {
+  icl::DiagnosticList diags;
+  core::Compiler c(std::move(opts));
+  auto chip = c.compile(src, diags);
+  EXPECT_TRUE(chip != nullptr) << diags.toString();
+  return chip;
+}
+
+TEST(CompilerSmoke, SmallChipCompiles) {
+  auto chip = compileOrDie(core::samples::smallChip());
+  ASSERT_NE(chip, nullptr);
+  EXPECT_NE(chip->top, nullptr);
+  EXPECT_NE(chip->core, nullptr);
+  EXPECT_NE(chip->decoder, nullptr);
+  EXPECT_EQ(chip->placed.size(), 5u + 1u);  // 5 elements + head precharge
+  EXPECT_GT(chip->stats.dieArea, 0);
+  EXPECT_GT(chip->stats.padCount, 0u);
+  EXPECT_GT(chip->logic.gates().size(), 0u);
+}
+
+TEST(CompilerSmoke, LargeChipCompiles) {
+  auto chip = compileOrDie(core::samples::largeChip());
+  ASSERT_NE(chip, nullptr);
+  EXPECT_GT(chip->stats.coreArea, 0);
+  EXPECT_GT(chip->pla.termCount(), 0u);
+  // 16 data pads x2 + 16 microcode + clocks + supplies.
+  EXPECT_GE(chip->stats.padCount, 16u + 16u + 16u + 2u + 2u);
+}
+
+TEST(CompilerSmoke, CommonPitchIsWidestNatural) {
+  auto chip = compileOrDie(core::samples::smallChip());
+  ASSERT_NE(chip, nullptr);
+  // Every placed column has the same height: dataWidth * pitch.
+  for (const core::PlacedElement& pe : chip->placed) {
+    EXPECT_EQ(pe.column->height(), chip->stats.pitch * chip->desc.dataWidth)
+        << pe.name << " not stretched to the common pitch";
+  }
+  // The ALU is the widest element; the pitch must be at least its natural.
+  EXPECT_GE(chip->stats.pitch, chip->stats.naturalPitchMax);
+}
+
+TEST(CompilerSmoke, DecoderMatchesDecodeFunctions) {
+  auto chip = compileOrDie(core::samples::smallChip());
+  ASSERT_NE(chip, nullptr);
+  // The optimized PLA must evaluate exactly as each decode expression.
+  for (std::size_t i = 0; i < chip->controls.size(); ++i) {
+    icl::DiagnosticList diags;
+    const icl::SumOfProducts ref =
+        icl::compileDecode(chip->controls[i].decode, chip->desc.microcode, diags);
+    ASSERT_FALSE(diags.hasErrors());
+    for (unsigned long long w = 0; w < (1ull << chip->desc.microcode.width); ++w) {
+      ASSERT_EQ(chip->pla.eval(static_cast<int>(i), w), ref.matches(w))
+          << "control " << chip->controls[i].name << " word " << w;
+    }
+  }
+}
+
+TEST(CompilerSmoke, ConditionalAssemblyAddsAndRemovesProbes) {
+  auto proto = compileOrDie(core::samples::prototypeChip());
+  core::CompileOptions prodOpts;
+  prodOpts.vars["PROTOTYPE"] = false;
+  auto prod = compileOrDie(core::samples::prototypeChip(), prodOpts);
+  ASSERT_NE(proto, nullptr);
+  ASSERT_NE(prod, nullptr);
+  EXPECT_EQ(proto->stats.padCount, prod->stats.padCount + 2);
+  EXPECT_GT(proto->stats.dieArea, prod->stats.dieArea);
+}
+
+TEST(CompilerSmoke, BusStopSplitsSegmentsAndAddsPrecharge) {
+  auto chip = compileOrDie(core::samples::segmentedChip());
+  ASSERT_NE(chip, nullptr);
+  EXPECT_EQ(chip->stats.busSegments[1], 2u);
+  EXPECT_EQ(chip->stats.prechargeColumns, 2u);  // head + post-stop
+  // Logic has both segment prefixes.
+  EXPECT_GE(chip->logic.findSignal("busB0"), 0);
+  EXPECT_GE(chip->logic.findSignal("busB#20"), 0);
+}
+
+TEST(CompilerSmoke, BadInputDiagnosedNotCrash) {
+  icl::DiagnosticList diags;
+  core::Compiler c;
+  auto chip = c.compile("chip broken; data width 8;", diags);
+  EXPECT_EQ(chip, nullptr);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,212 @@
+/// Pass 2 tests: the PLA optimizer and the two-tape machine. The hard
+/// contract is functional equivalence — optimization must never change
+/// any control line's decode function.
+
+#include "core/pass2_tapes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::core {
+namespace {
+
+icl::MicrocodeDecl mcN(int width) {
+  icl::MicrocodeDecl m;
+  m.width = width;
+  m.fields = {{"op", 0, width >= 4 ? 3 : width - 1, {}}};
+  if (width > 4) m.fields.push_back({"x", 4, width - 1, {}});
+  return m;
+}
+
+icl::Cube cubeOf(const char* expr, const icl::MicrocodeDecl& m) {
+  icl::DiagnosticList d;
+  auto sop = icl::compileDecode(expr, m, d);
+  EXPECT_FALSE(d.hasErrors());
+  EXPECT_EQ(sop.cubes.size(), 1u);
+  return sop.cubes[0];
+}
+
+TEST(Pla, SharesIdenticalTerms) {
+  const auto m = mcN(4);
+  Pla pla(4, 2);
+  pla.addCube(0, cubeOf("op==5", m));
+  pla.addCube(1, cubeOf("op==5", m));
+  EXPECT_EQ(pla.termCount(), 1u);
+  EXPECT_EQ(pla.orPointCount(), 2u);
+}
+
+TEST(Pla, MergesAdjacentCubes) {
+  const auto m = mcN(4);
+  Pla pla(4, 1);
+  pla.addCube(0, cubeOf("op==4", m));  // 100
+  pla.addCube(0, cubeOf("op==5", m));  // 101 -> 10x
+  const int merges = pla.optimize();
+  EXPECT_GE(merges, 1);
+  EXPECT_EQ(pla.termCount(), 1u);
+  for (unsigned w = 0; w < 16; ++w) {
+    EXPECT_EQ(pla.eval(0, w), w == 4 || w == 5) << w;
+  }
+}
+
+TEST(Pla, MergeCascades) {
+  // op==4..7 collapse to a single 1xx term.
+  const auto m = mcN(4);
+  Pla pla(4, 1);
+  for (int v = 4; v <= 7; ++v) {
+    pla.addCube(0, cubeOf(("op==" + std::to_string(v)).c_str(), m));
+  }
+  pla.optimize();
+  EXPECT_EQ(pla.termCount(), 1u);
+  // op is a 4-bit field: values 4..7 collapse to bit3==0 & bit2==1.
+  EXPECT_EQ(pla.terms()[0].literals(), 2);
+}
+
+TEST(Pla, NoMergeAcrossDifferentOutputSets) {
+  const auto m = mcN(4);
+  Pla pla(4, 2);
+  pla.addCube(0, cubeOf("op==4", m));
+  pla.addCube(1, cubeOf("op==5", m));  // adjacent but different drivers
+  EXPECT_EQ(pla.optimize(), 0);
+  EXPECT_EQ(pla.termCount(), 2u);
+}
+
+TEST(Pla, OptimizePreservesFunction) {
+  const auto m = mcN(6);
+  Pla pla(6, 3);
+  const char* exprs[3] = {"op==1 | op==3 | op==5 | op==7", "op==2 & x==1",
+                          "op!=0"};
+  icl::DiagnosticList d;
+  std::vector<icl::SumOfProducts> ref;
+  for (int o = 0; o < 3; ++o) {
+    auto sop = icl::compileDecode(exprs[o], m, d);
+    for (const auto& c : sop.cubes) pla.addCube(o, c);
+    ref.push_back(sop);
+  }
+  ASSERT_FALSE(d.hasErrors());
+  const std::size_t before = pla.termCount();
+  pla.optimize();
+  EXPECT_LE(pla.termCount(), before);
+  for (int o = 0; o < 3; ++o) {
+    for (unsigned long long w = 0; w < 64; ++w) {
+      ASSERT_EQ(pla.eval(o, w), ref[static_cast<std::size_t>(o)].matches(w))
+          << "output " << o << " word " << w;
+    }
+  }
+}
+
+TEST(TwoTape, RunsAndReportsStats) {
+  const auto m = mcN(6);
+  std::vector<TextArrayEntry> text = {
+      {"c0", "op==1", 1},
+      {"c1", "op==1", 2},       // shares the term with c0
+      {"c2", "op==2 | op==3", 1},  // merges into one cube
+      {"c3", "1", 2},
+  };
+  TwoTapeMachine machine(text, m);
+  icl::DiagnosticList d;
+  ASSERT_TRUE(machine.run(d)) << d.toString();
+  const TapeStats& st = machine.stats();
+  EXPECT_EQ(st.inputEntries, 4u);
+  EXPECT_EQ(st.rawCubes, 5u);
+  EXPECT_EQ(st.sharedTerms, 4u);   // op==1 shared
+  EXPECT_EQ(st.finalTerms, 3u);    // op==2|op==3 merged
+  EXPECT_GE(st.mergePasses, 1);
+  EXPECT_GT(st.headMoves, 0);
+
+  // The output tape must contain pad connections for every input bit and
+  // end with End.
+  std::size_t pads = 0;
+  for (const SilInstr& i : machine.outputTape()) {
+    if (i.op == SilOp::PadConn) ++pads;
+  }
+  EXPECT_EQ(pads, 6u);
+  EXPECT_EQ(machine.outputTape().back().op, SilOp::End);
+}
+
+TEST(TwoTape, TapeFunctionEquivalence) {
+  // Rebuild the decode functions from the silicon-code tape alone and
+  // check them against the PLA — the tape IS the decoder.
+  const auto m = mcN(6);
+  std::vector<TextArrayEntry> text = {
+      {"a", "op==1 | op==9", 1}, {"b", "x==2 & op==0", 1}, {"c", "op!=5", 2}};
+  TwoTapeMachine machine(text, m);
+  icl::DiagnosticList d;
+  ASSERT_TRUE(machine.run(d));
+
+  // Interpret the tape: collect terms and the OR matrix.
+  std::vector<icl::Cube> terms;
+  std::vector<std::vector<int>> outs(text.size());
+  int cur = -1;
+  for (const SilInstr& i : machine.outputTape()) {
+    switch (i.op) {
+      case SilOp::Term:
+        cur = i.a;
+        terms.emplace_back(m.width);
+        break;
+      case SilOp::CrossAnd:
+        terms[static_cast<std::size_t>(cur)].bits[static_cast<std::size_t>(i.a)] =
+            static_cast<std::int8_t>(i.b);
+        break;
+      case SilOp::CrossOr:
+        outs[static_cast<std::size_t>(i.b)].push_back(i.a);
+        break;
+      default:
+        break;
+    }
+  }
+  for (std::size_t o = 0; o < text.size(); ++o) {
+    for (unsigned long long w = 0; w < 64; ++w) {
+      bool tapeSays = false;
+      for (int t : outs[o]) {
+        tapeSays |= terms[static_cast<std::size_t>(t)].matches(w);
+      }
+      ASSERT_EQ(tapeSays, machine.pla().eval(static_cast<int>(o), w))
+          << "output " << o << " word " << w;
+    }
+  }
+}
+
+TEST(TwoTape, BadDecodeDiagnosed) {
+  const auto m = mcN(4);
+  TwoTapeMachine machine({{"c", "bogus==1", 1}}, m);
+  icl::DiagnosticList d;
+  EXPECT_FALSE(machine.run(d));
+  EXPECT_TRUE(d.hasErrors());
+}
+
+// Parameterized sweep: growing microcode widths keep equivalence.
+class PlaWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlaWidthSweep, RandomishFunctionEquivalence) {
+  const int width = GetParam();
+  icl::MicrocodeDecl m;
+  m.width = width;
+  m.fields = {{"f", 0, width - 1, {}}};
+  Pla pla(width, 4);
+  icl::DiagnosticList d;
+  std::vector<icl::SumOfProducts> ref(4);
+  // Deterministic pseudo-random value sets per output.
+  unsigned long long seed = 0x9e3779b97f4a7c15ull;
+  for (int o = 0; o < 4; ++o) {
+    std::string expr;
+    for (int k = 0; k < 3; ++k) {
+      seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+      const unsigned long long v = (seed >> 17) % (1ull << width);
+      if (!expr.empty()) expr += " | ";
+      expr += "f==" + std::to_string(v);
+    }
+    ref[static_cast<std::size_t>(o)] = icl::compileDecode(expr, m, d);
+    for (const auto& c : ref[static_cast<std::size_t>(o)].cubes) pla.addCube(o, c);
+  }
+  ASSERT_FALSE(d.hasErrors());
+  pla.optimize();
+  for (int o = 0; o < 4; ++o) {
+    for (unsigned long long w = 0; w < (1ull << width); ++w) {
+      ASSERT_EQ(pla.eval(o, w), ref[static_cast<std::size_t>(o)].matches(w));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PlaWidthSweep, ::testing::Values(4, 6, 8, 10));
+
+}  // namespace
+}  // namespace bb::core

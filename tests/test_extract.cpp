@@ -1,0 +1,143 @@
+/// Extraction tests: rectangle subtraction, connectivity, transistor
+/// recognition on hand-built structures and on the kit's cells.
+
+#include "elements/slicekit.hpp"
+#include "extract/extract.hpp"
+#include "netlist/spice.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::extract {
+namespace {
+
+using geom::lambda;
+using geom::Rect;
+using tech::Layer;
+
+TEST(SubtractRects, FourWaySplit) {
+  const auto out = subtractRects(Rect{0, 0, 10, 10}, {Rect{4, 4, 6, 6}});
+  ASSERT_EQ(out.size(), 4u);
+  geom::Coord area = 0;
+  for (const Rect& r : out) area += r.area();
+  EXPECT_EQ(area, 100 - 4);
+}
+
+TEST(SubtractRects, NoOverlapNoChange) {
+  const auto out = subtractRects(Rect{0, 0, 10, 10}, {Rect{20, 20, 30, 30}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Rect{0, 0, 10, 10}));
+}
+
+TEST(SubtractRects, FullCoverEmpty) {
+  EXPECT_TRUE(subtractRects(Rect{0, 0, 10, 10}, {Rect{-1, -1, 11, 11}}).empty());
+}
+
+TEST(Extract, SinglePassTransistor) {
+  cell::Cell c("pass");
+  // Horizontal diffusion crossed by vertical poly.
+  c.addRect(Layer::Diffusion, Rect{0, lambda(4), lambda(20), lambda(6)});
+  c.addRect(Layer::Poly, Rect{lambda(9), 0, lambda(11), lambda(10)});
+  const ExtractResult ex = extractCell(c);
+  ASSERT_EQ(ex.netlist.transistors().size(), 1u);
+  const auto& t = ex.netlist.transistors()[0];
+  EXPECT_EQ(t.kind, netlist::TransKind::Enhancement);
+  EXPECT_NE(t.source, t.drain);  // diffusion fractured at the gate
+  EXPECT_EQ(t.length, lambda(2));
+  EXPECT_EQ(t.width, lambda(2));
+  EXPECT_EQ(ex.unresolvedGates, 0u);
+}
+
+TEST(Extract, DepletionRecognizedByImplant) {
+  cell::Cell c("dep");
+  c.addRect(Layer::Diffusion, Rect{0, lambda(4), lambda(20), lambda(6)});
+  c.addRect(Layer::Poly, Rect{lambda(9), 0, lambda(11), lambda(10)});
+  c.addRect(Layer::Implant, Rect{lambda(7), lambda(2), lambda(13), lambda(8)});
+  const ExtractResult ex = extractCell(c);
+  ASSERT_EQ(ex.netlist.transistors().size(), 1u);
+  EXPECT_EQ(ex.netlist.transistors()[0].kind, netlist::TransKind::Depletion);
+}
+
+TEST(Extract, BuriedContactIsNotAGate) {
+  cell::Cell c("buried");
+  c.addRect(Layer::Diffusion, Rect{0, 0, lambda(4), lambda(4)});
+  c.addRect(Layer::Poly, Rect{0, 0, lambda(4), lambda(4)});
+  c.addRect(Layer::Buried, Rect{0, 0, lambda(4), lambda(4)});
+  const ExtractResult ex = extractCell(c);
+  EXPECT_TRUE(ex.netlist.transistors().empty());
+  // And the poly and diff are one net.
+  EXPECT_EQ(ex.netCount, 1u);
+}
+
+TEST(Extract, ContactConnectsMetalToDiff) {
+  cell::Cell c("via");
+  c.addRect(Layer::Metal, Rect{0, 0, lambda(20), lambda(4)});
+  c.addRect(Layer::Diffusion, Rect{0, 0, lambda(4), lambda(20)});
+  const ExtractResult before = extractCell(c);
+  EXPECT_EQ(before.netCount, 2u);
+  c.addContact({lambda(2), lambda(2)}, Layer::Diffusion, Layer::Metal);
+  const ExtractResult after = extractCell(c);
+  EXPECT_EQ(after.netCount, 1u);
+}
+
+TEST(Extract, NetNamesFromBristles) {
+  cell::Cell c("named");
+  c.addRect(Layer::Metal, Rect{0, 0, lambda(20), lambda(4)});
+  cell::Bristle b;
+  b.name = "vdd";
+  b.net = "vdd";
+  b.layer = Layer::Metal;
+  b.pos = {lambda(1), lambda(1)};
+  c.addBristle(b);
+  const ExtractResult ex = extractCell(c);
+  EXPECT_GE(ex.netlist.findNet("vdd"), 0);
+}
+
+TEST(Extract, InverterFromKit) {
+  // The kit inverter must extract to exactly 2 devices: one enhancement
+  // pull-down, one depletion load with gate strapped to the output.
+  cell::CellLibrary lib;
+  elements::SliceBuilder sb(lib, "inv_t", elements::contract().naturalPitch);
+  sb.addInv(/*railInput=*/false, /*outEast=*/false);
+  cell::Cell* slice = sb.finish();
+  const ExtractResult ex = extractCell(*slice);
+  EXPECT_EQ(ex.netlist.enhancementCount(), 1u);
+  EXPECT_EQ(ex.netlist.depletionCount(), 1u);
+  EXPECT_EQ(ex.unresolvedGates, 0u);
+  // Load gate net == load source net (the strap) — find the depletion.
+  for (const auto& t : ex.netlist.transistors()) {
+    if (t.kind == netlist::TransKind::Depletion) {
+      EXPECT_TRUE(t.gate == t.source || t.gate == t.drain);
+    }
+  }
+}
+
+TEST(Extract, RegisterSliceDeviceCount) {
+  // Register slice: tap(1) + inv(2) + pass(1) + railgate(1) + taphi(1) = 6.
+  cell::CellLibrary lib;
+  elements::SliceBuilder sb(lib, "reg_t", elements::contract().naturalPitch);
+  sb.addBusTap(elements::BusTrack::A);
+  sb.addInv(true, true);
+  sb.addM2D();
+  sb.addPass();
+  sb.addRailGate();
+  sb.addBusTap(elements::BusTrack::B, true, true);
+  cell::Cell* slice = sb.finish();
+  const ExtractResult ex = extractCell(*slice);
+  EXPECT_EQ(ex.netlist.transistors().size(), 6u);
+  EXPECT_EQ(ex.netlist.depletionCount(), 1u);
+  EXPECT_EQ(ex.unresolvedGates, 0u);
+}
+
+TEST(Extract, SpiceDeckWrites) {
+  cell::Cell c("sp");
+  c.addRect(Layer::Diffusion, Rect{0, lambda(4), lambda(20), lambda(6)});
+  c.addRect(Layer::Poly, Rect{lambda(9), 0, lambda(11), lambda(10)});
+  const ExtractResult ex = extractCell(c);
+  const std::string deck = netlist::writeSpice(ex.netlist);
+  EXPECT_NE(deck.find(".model nenh"), std::string::npos);
+  EXPECT_NE(deck.find("M0"), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bb::extract

@@ -1,0 +1,145 @@
+/// Geometry substrate unit + property tests.
+
+#include "geom/geometry.hpp"
+#include "geom/transform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::geom {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{3, 4}, b{-1, 2};
+  EXPECT_EQ(a + b, (Point{2, 6}));
+  EXPECT_EQ(a - b, (Point{4, 2}));
+  EXPECT_EQ(manhattan(a, b), 4 + 2);
+}
+
+TEST(Rect, NormalizesOnConstruction) {
+  const Rect r{10, 20, 0, 5};
+  EXPECT_EQ(r.x0, 0);
+  EXPECT_EQ(r.y0, 5);
+  EXPECT_EQ(r.x1, 10);
+  EXPECT_EQ(r.y1, 20);
+}
+
+TEST(Rect, OverlapVsTouch) {
+  const Rect a{0, 0, 10, 10};
+  const Rect edge{10, 0, 20, 10};
+  const Rect apart{11, 0, 20, 10};
+  EXPECT_FALSE(a.overlaps(edge));
+  EXPECT_TRUE(a.touches(edge));
+  EXPECT_FALSE(a.touches(apart));
+}
+
+TEST(Rect, IntersectAndUnion) {
+  const Rect a{0, 0, 10, 10}, b{5, 5, 15, 15};
+  auto i = a.intersectWith(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, (Rect{5, 5, 10, 10}));
+  EXPECT_EQ(a.unionWith(b), (Rect{0, 0, 15, 15}));
+  EXPECT_FALSE(a.intersectWith(Rect{20, 20, 30, 30}).has_value());
+}
+
+TEST(Rect, ExpandedShrinkCollapsesGracefully) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_EQ(a.expanded(2), (Rect{-2, -2, 6, 6}));
+  const Rect s = a.expanded(-3);
+  EXPECT_TRUE(s.isEmpty());
+}
+
+TEST(Polygon, ShoelaceArea) {
+  Polygon p;
+  p.pts = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  EXPECT_EQ(p.area(), 100);
+  EXPECT_EQ(p.signedDoubleArea(), 200);  // counter-clockwise positive
+}
+
+TEST(Polygon, ContainsEvenOdd) {
+  Polygon l;  // L-shape
+  l.pts = {{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}};
+  EXPECT_TRUE(l.contains({5, 5}));
+  EXPECT_TRUE(l.contains({5, 15}));
+  EXPECT_FALSE(l.contains({15, 15}));
+  EXPECT_TRUE(l.contains({0, 0}));  // boundary counts
+}
+
+TEST(Path, RectDecompositionCoversCorners) {
+  Path p;
+  p.width = 4;
+  p.pts = {{0, 0}, {10, 0}, {10, 10}};
+  const auto rects = p.toRects();
+  ASSERT_EQ(rects.size(), 2u);
+  // The corner (10,0) must be covered by both segments' end caps.
+  EXPECT_TRUE(rects[0].contains(Point{10, 0}));
+  EXPECT_TRUE(rects[1].contains(Point{10, 0}));
+  EXPECT_EQ(p.length(), 20);
+}
+
+TEST(UnionArea, OverlapsCountedOnce) {
+  std::vector<Rect> rs = {{0, 0, 10, 10}, {5, 0, 15, 10}, {100, 100, 101, 101}};
+  EXPECT_EQ(unionArea(rs), 150 + 1);
+}
+
+TEST(UnionArea, EmptyAndDegenerate) {
+  EXPECT_EQ(unionArea({}), 0);
+  EXPECT_EQ(unionArea({Rect{0, 0, 0, 10}}), 0);
+}
+
+TEST(ConnectedComponents, GroupsTouching) {
+  std::vector<Rect> rs = {{0, 0, 10, 10}, {10, 0, 20, 10}, {40, 40, 50, 50}};
+  const auto cc = connectedComponents(rs);
+  EXPECT_EQ(cc.count, 2);
+  EXPECT_EQ(cc.componentOf[0], cc.componentOf[1]);
+  EXPECT_NE(cc.componentOf[0], cc.componentOf[2]);
+}
+
+// --- transform group properties (parameterized over all orientations) ---
+
+class OrientationP : public ::testing::TestWithParam<Orientation> {};
+
+TEST_P(OrientationP, InverseComposesToIdentity) {
+  const Orientation o = GetParam();
+  EXPECT_EQ(compose(o, inverse(o)), Orientation::R0);
+  EXPECT_EQ(compose(inverse(o), o), Orientation::R0);
+}
+
+TEST_P(OrientationP, ActionMatchesComposition) {
+  const Orientation o = GetParam();
+  const Point probe{5, 2};
+  for (Orientation p : kAllOrientations) {
+    EXPECT_EQ(apply(compose(o, p), probe), apply(o, apply(p, probe)))
+        << name(o) << " * " << name(p);
+  }
+}
+
+TEST_P(OrientationP, PreservesManhattanLength) {
+  const Orientation o = GetParam();
+  const Point a{3, 7}, b{-2, 5};
+  EXPECT_EQ(manhattan(apply(o, a), apply(o, b)), manhattan(a, b));
+}
+
+TEST_P(OrientationP, TransformRoundTrip) {
+  const Transform t{GetParam(), {17, -9}};
+  const Point p{4, 11};
+  EXPECT_EQ(t.inverted()(t(p)), p);
+  const Rect r{-3, 2, 9, 20};
+  EXPECT_EQ(t.inverted()(t(r)), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrientations, OrientationP,
+                         ::testing::ValuesIn(kAllOrientations),
+                         [](const ::testing::TestParamInfo<Orientation>& i) {
+                           return std::string(name(i.param));
+                         });
+
+TEST(Transform, CompositionAssociative) {
+  const Transform a{Orientation::R90, {3, 4}};
+  const Transform b{Orientation::MX, {-1, 7}};
+  const Transform c{Orientation::MY90, {5, 0}};
+  const Point p{11, -2};
+  EXPECT_EQ(((a * b) * c)(p), (a * (b * c))(p));
+}
+
+}  // namespace
+}  // namespace bb::geom

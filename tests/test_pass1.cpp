@@ -1,0 +1,170 @@
+/// Pass 1 tests: parameter voting, widest-pitch discovery, stretching to
+/// the common pitch, power-rail widening, bus segmentation and the core
+/// assembly invariants (abutment, trunks, control x-offsets).
+
+#include "cell/flatten.hpp"
+#include "core/compiler.hpp"
+#include "core/samples.hpp"
+#include "elements/slicekit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+using elements::lam;
+
+std::unique_ptr<core::CompiledChip> compileOk(const std::string& src,
+                                              core::CompileOptions opts = {}) {
+  icl::DiagnosticList diags;
+  core::Compiler c(std::move(opts));
+  auto chip = c.compile(src, diags);
+  EXPECT_NE(chip, nullptr) << diags.toString();
+  return chip;
+}
+
+TEST(Pass1, ColumnsAbutWithoutGapsOrOverlaps) {
+  auto chip = compileOk(core::samples::smallChip(4));
+  ASSERT_NE(chip, nullptr);
+  geom::Coord expect = lam(8);  // after the west GND trunk
+  for (const core::PlacedElement& pe : chip->placed) {
+    EXPECT_EQ(pe.x, expect) << pe.name;
+    expect += pe.column->width();
+  }
+  // Plus the east Vdd trunk.
+  EXPECT_EQ(expect + lam(8), chip->stats.coreWidth);
+}
+
+TEST(Pass1, ControlOffsetsInsideTheirColumns) {
+  auto chip = compileOk(core::samples::largeChip(8, 4));
+  ASSERT_NE(chip, nullptr);
+  for (const core::PlacedElement& pe : chip->placed) {
+    for (const elements::ControlLine& cl : pe.controls) {
+      EXPECT_GE(cl.xOffset, pe.x) << cl.name;
+      EXPECT_LE(cl.xOffset, pe.x + pe.column->width()) << cl.name;
+    }
+  }
+}
+
+TEST(Pass1, AllControlsHaveCompilableDecodes) {
+  auto chip = compileOk(core::samples::largeChip(8, 4));
+  ASSERT_NE(chip, nullptr);
+  for (const elements::ControlLine& cl : chip->controls) {
+    icl::DiagnosticList d;
+    (void)icl::compileDecode(cl.decode, chip->desc.microcode, d);
+    EXPECT_FALSE(d.hasErrors()) << cl.name << ": " << cl.decode;
+  }
+}
+
+TEST(Pass1, PowerRailsWidenWithDemand) {
+  // 2-bit vs 16-bit versions of the same chip: more bits, more depletion
+  // loads, more static current, wider rails (the stretch-for-power
+  // mechanism of the paper).
+  auto narrow = compileOk(core::samples::smallChip(2));
+  auto wide = compileOk(core::samples::smallChip(16));
+  ASSERT_NE(narrow, nullptr);
+  ASSERT_NE(wide, nullptr);
+  EXPECT_GT(wide->stats.power_ua, narrow->stats.power_ua);
+  EXPECT_GE(wide->stats.powerRailWidth, narrow->stats.powerRailWidth);
+  EXPECT_GE(narrow->stats.powerRailWidth, lam(4));  // never below default
+}
+
+TEST(Pass1, RailCapacityOptionControlsWidening) {
+  core::CompileOptions generous;
+  generous.pass1.railCapacityUaPerLambda = 1e9;  // infinite capacity
+  auto thin = compileOk(core::samples::smallChip(8), generous);
+  core::CompileOptions stingy;
+  stingy.pass1.railCapacityUaPerLambda = 10.0;  // terrible metal
+  auto thick = compileOk(core::samples::smallChip(8), stingy);
+  ASSERT_NE(thin, nullptr);
+  ASSERT_NE(thick, nullptr);
+  EXPECT_EQ(thin->stats.powerRailWidth, lam(4));
+  EXPECT_GT(thick->stats.powerRailWidth, thin->stats.powerRailWidth);
+  // Widening grows the pitch (rails are inside every slice).
+  EXPECT_GT(thick->stats.pitch, thin->stats.pitch);
+  // And the chip still simulates: widening must not break anything.
+  EXPECT_GT(thick->logic.gates().size(), 0u);
+}
+
+TEST(Pass1, PitchEqualsWidestNaturalPlusWidening) {
+  auto chip = compileOk(core::samples::smallChip(4));
+  ASSERT_NE(chip, nullptr);
+  const geom::Coord widen = (chip->stats.powerRailWidth - lam(4));
+  EXPECT_EQ(chip->stats.pitch, chip->stats.naturalPitchMax + 2 * widen);
+}
+
+TEST(Pass1, CoreHeightIsDataWidthTimesPitch) {
+  for (int width : {2, 5, 8, 13}) {
+    auto chip = compileOk(core::samples::smallChip(width));
+    ASSERT_NE(chip, nullptr);
+    EXPECT_EQ(chip->stats.coreHeight, chip->stats.pitch * width) << width;
+  }
+}
+
+TEST(Pass1, TrunksExposeSupplyPads) {
+  auto chip = compileOk(core::samples::smallChip(4));
+  ASSERT_NE(chip, nullptr);
+  bool vdd = false, gnd = false;
+  for (const cell::Bristle& b : chip->core->bristles()) {
+    vdd |= b.flavor == cell::BristleFlavor::PadVdd;
+    gnd |= b.flavor == cell::BristleFlavor::PadGnd;
+  }
+  EXPECT_TRUE(vdd);
+  EXPECT_TRUE(gnd);
+}
+
+TEST(Pass1, PowerDemandAggregatesElementLoads) {
+  auto chip = compileOk(core::samples::smallChip(8));
+  ASSERT_NE(chip, nullptr);
+  double sum = 0;
+  for (const core::PlacedElement& pe : chip->placed) sum += pe.column->powerDemand();
+  EXPECT_DOUBLE_EQ(chip->stats.power_ua, sum);
+  EXPECT_GT(sum, 0);
+}
+
+TEST(Pass1, EmptyCoreDiagnosed) {
+  icl::DiagnosticList diags;
+  core::Compiler c;
+  auto chip = c.compile(
+      "chip empty; microcode width 4 { field op [0:3]; } data width 4; buses A; core { }",
+      diags);
+  EXPECT_EQ(chip, nullptr);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+// Property sweep: the common-pitch invariant holds for every data width.
+class Pass1Width : public ::testing::TestWithParam<int> {};
+
+TEST_P(Pass1Width, EveryColumnSameHeight) {
+  auto chip = compileOk(core::samples::largeChip(GetParam(), 4));
+  ASSERT_NE(chip, nullptr);
+  for (const core::PlacedElement& pe : chip->placed) {
+    EXPECT_EQ(pe.column->height(), chip->stats.coreHeight) << pe.name;
+  }
+}
+
+TEST_P(Pass1Width, BusTracksAlignAcrossColumns) {
+  // The interface contract: bus track y positions are identical in every
+  // slice row of every column (tracks sit below the pitch stretch line,
+  // so stretching must not move them).
+  auto chip = compileOk(core::samples::smallChip(GetParam()));
+  ASSERT_NE(chip, nullptr);
+  const auto& k = elements::contract();
+  for (const core::PlacedElement& pe : chip->placed) {
+    const cell::FlatLayout flat = cell::flatten(*pe.column);
+    // Look for metal covering the bus-A track in row 0.
+    bool found = false;
+    for (const geom::Rect& r : flat.on(tech::Layer::Metal)) {
+      if (r.y0 <= k.busAY0 && r.y1 >= k.busAY1 && r.width() >= pe.column->width()) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << pe.name << ": bus A track missing or misaligned in row 0";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, Pass1Width, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,105 @@
+/// Pass 3 tests: clockwise collection, Roto-Router optimality properties,
+/// even spacing, and wiring bookkeeping.
+
+#include "baseline/naive_pads.hpp"
+#include "core/compiler.hpp"
+#include "core/samples.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace bb {
+namespace {
+
+std::unique_ptr<core::CompiledChip> compileSmall(core::CompileOptions opts = {}) {
+  icl::DiagnosticList diags;
+  core::Compiler c(std::move(opts));
+  auto chip = c.compile(core::samples::smallChip(8), diags);
+  EXPECT_NE(chip, nullptr) << diags.toString();
+  return chip;
+}
+
+TEST(Pass3, EveryRequestGetsExactlyOnePad) {
+  auto chip = compileSmall();
+  ASSERT_NE(chip, nullptr);
+  std::map<std::string, int> seen;
+  for (const core::PadPlacement& p : chip->pads) ++seen[p.name];
+  for (const auto& [name, n] : seen) {
+    EXPECT_EQ(n, 1) << name;
+  }
+  // 8 in + 8 out + 8 microcode + 2 clocks + vdd + gnd.
+  EXPECT_EQ(chip->pads.size(), 8u + 8u + 8u + 2u + 2u);
+}
+
+TEST(Pass3, SupplyAndClockPadsPresent) {
+  auto chip = compileSmall();
+  ASSERT_NE(chip, nullptr);
+  std::map<std::string, int> byCell;
+  for (const core::PadPlacement& p : chip->pads) ++byCell[p.padCellName];
+  EXPECT_EQ(byCell["pad_vdd"], 1);
+  EXPECT_EQ(byCell["pad_gnd"], 1);
+  EXPECT_EQ(byCell["pad_clock"], 2);
+  EXPECT_GE(byCell["pad_in"], 8 + 8);  // data-in + microcode
+  EXPECT_GE(byCell["pad_out"], 8);
+}
+
+TEST(Pass3, RotoRouterNoWorseThanNaive) {
+  core::CompileOptions with;
+  auto chip = compileSmall(with);
+  ASSERT_NE(chip, nullptr);
+  core::CompileOptions without;
+  without.pass3.rotoRouter = false;
+  auto naive = compileSmall(without);
+  ASSERT_NE(naive, nullptr);
+  EXPECT_LE(chip->stats.padWireLength, naive->stats.padWireLength);
+}
+
+TEST(Pass3, RotationIsOptimalAmongRotations) {
+  auto chip = compileSmall();
+  ASSERT_NE(chip, nullptr);
+  const baseline::PadStrategyReport rep = baseline::comparePadStrategies(*chip);
+  EXPECT_LE(rep.rotoRouter, rep.naive);
+  EXPECT_GT(rep.rotoRouter, 0);
+}
+
+TEST(Pass3, EvenSpacingSpreadsPads) {
+  auto chip = compileSmall();
+  ASSERT_NE(chip, nullptr);
+  // With even spacing and a clockwise walk, consecutive pad pins should
+  // never collapse onto each other.
+  for (std::size_t i = 0; i < chip->pads.size(); ++i) {
+    for (std::size_t j = i + 1; j < chip->pads.size(); ++j) {
+      EXPECT_GT(geom::manhattan(chip->pads[i].pinAt, chip->pads[j].pinAt), 0)
+          << chip->pads[i].name << " vs " << chip->pads[j].name;
+    }
+  }
+  // All four sides are used for this pad count.
+  std::map<cell::Side, int> sides;
+  for (const core::PadPlacement& p : chip->pads) ++sides[p.side];
+  EXPECT_EQ(sides.size(), 4u);
+}
+
+TEST(Pass3, WireLengthsAccount) {
+  auto chip = compileSmall();
+  ASSERT_NE(chip, nullptr);
+  geom::Coord total = 0;
+  for (const core::PadPlacement& p : chip->pads) {
+    EXPECT_GE(p.wireLength, geom::manhattan(p.pinAt, p.target));
+    total += p.wireLength;
+  }
+  EXPECT_EQ(total, chip->stats.padWireLength);
+}
+
+TEST(Pass3, PadsOutsideTheCoreBlock) {
+  auto chip = compileSmall();
+  ASSERT_NE(chip, nullptr);
+  const geom::Rect block{0, 0, chip->stats.coreWidth,
+                         chip->stats.coreHeight};  // at least the core
+  for (const core::PadPlacement& p : chip->pads) {
+    EXPECT_FALSE(block.contains(p.pinAt)) << p.name << " pin inside the core";
+  }
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,87 @@
+/// The seven representations: every compiled chip must produce all of
+/// them, and each must reflect the chip it came from.
+
+#include "core/compiler.hpp"
+#include "core/samples.hpp"
+#include "reps/reps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+class Reps : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    icl::DiagnosticList diags;
+    core::Compiler c;
+    chip_ = c.compile(core::samples::smallChip(4), diags).release();
+    ASSERT_NE(chip_, nullptr) << diags.toString();
+    rs_ = new reps::RepresentationSet(reps::generateAll(*chip_));
+  }
+  static void TearDownTestSuite() {
+    delete rs_;
+    delete chip_;
+  }
+  static core::CompiledChip* chip_;
+  static reps::RepresentationSet* rs_;
+};
+
+core::CompiledChip* Reps::chip_ = nullptr;
+reps::RepresentationSet* Reps::rs_ = nullptr;
+
+TEST_F(Reps, AllSevenPopulated) {
+  EXPECT_EQ(rs_->populatedCount(), 7);
+}
+
+TEST_F(Reps, LayoutIsValidCifAndGds) {
+  EXPECT_NE(rs_->cif.find("DS 1"), std::string::npos);
+  EXPECT_NE(rs_->cif.find("E\n"), std::string::npos);
+  EXPECT_GT(rs_->gds.size(), 100u);
+  EXPECT_NE(rs_->layoutSvg.find("<svg"), std::string::npos);
+}
+
+TEST_F(Reps, SticksReduceToLines) {
+  EXPECT_NE(rs_->sticksText.find("sticks diagram"), std::string::npos);
+  EXPECT_NE(rs_->sticksSvg.find("<line"), std::string::npos);
+}
+
+TEST_F(Reps, TransistorDiagramHasDevices) {
+  EXPECT_NE(rs_->transistorText.find("devices"), std::string::npos);
+  // The core of the small chip has hundreds of transistors.
+  EXPECT_NE(rs_->transistorText.find("enh"), std::string::npos);
+}
+
+TEST_F(Reps, LogicDiagramListsGates) {
+  EXPECT_NE(rs_->logicText.find("LATCH"), std::string::npos);
+  EXPECT_NE(rs_->logicText.find("PULLDN"), std::string::npos);
+}
+
+TEST_F(Reps, UserManualDocumentsEverySection) {
+  const std::string& m = rs_->userManual;
+  EXPECT_NE(m.find("MICROCODE FORMAT"), std::string::npos);
+  EXPECT_NE(m.find("CORE ELEMENTS"), std::string::npos);
+  EXPECT_NE(m.find("INSTRUCTION DECODER"), std::string::npos);
+  EXPECT_NE(m.find("PADS"), std::string::npos);
+  EXPECT_NE(m.find("TIMING"), std::string::npos);
+  // Every element appears by name.
+  for (const core::PlacedElement& pe : chip_->placed) {
+    EXPECT_NE(m.find(pe.name), std::string::npos) << pe.name;
+  }
+}
+
+TEST_F(Reps, BlockDiagramShowsStructure) {
+  EXPECT_NE(rs_->blockText.find("DECODER"), std::string::npos);
+  EXPECT_NE(rs_->blockText.find("CORE"), std::string::npos);
+  EXPECT_NE(rs_->blockText.find("pads"), std::string::npos);
+}
+
+TEST_F(Reps, GenerateTextDispatchesAll) {
+  for (reps::Representation r : reps::kAllRepresentations) {
+    EXPECT_FALSE(reps::generateText(*chip_, r).empty())
+        << reps::representationName(r);
+  }
+}
+
+}  // namespace
+}  // namespace bb
