@@ -1,0 +1,103 @@
+/// BATCH — throughput of the concurrent BatchCompiler: chips/sec at
+/// 1/4/8 worker threads against a sequential CompileSession loop over
+/// the same job mix. The pipeline shares nothing mutable between
+/// sessions, so the batch should scale with cores until memory
+/// bandwidth takes over (on a single-core box the table degenerates to
+/// "no speedup", which is itself the interesting datum).
+
+#include "bench_util.hpp"
+
+#include "core/batch.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace bb;
+
+namespace {
+
+std::vector<std::string> jobMix(int copies) {
+  std::vector<std::string> sources;
+  for (int i = 0; i < copies; ++i) {
+    sources.push_back(core::samples::smallChip(4));
+    sources.push_back(core::samples::smallChip(8));
+    sources.push_back(core::samples::segmentedChip(8));
+    sources.push_back(core::samples::largeChip(16, 8));
+  }
+  return sources;
+}
+
+double sequentialSeconds(const std::vector<std::string>& sources) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const std::string& src : sources) {
+    auto result = core::CompileSession(src).run();
+    if (!result) std::abort();
+    benchmark::DoNotOptimize(result->get()->stats.dieArea);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+double batchSeconds(const std::vector<std::string>& sources, unsigned threads) {
+  const core::BatchCompiler batch({}, threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = batch.compileAll(sources);
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  for (const core::BatchResult& r : results) {
+    if (!r.ok()) std::abort();
+  }
+  return s;
+}
+
+void printTable() {
+  const std::vector<std::string> sources = jobMix(6);
+  const double n = static_cast<double>(sources.size());
+
+  std::printf("== BATCH: chips/sec through the staged pipeline (%zu jobs) ==\n",
+              sources.size());
+  std::printf("%-24s %10s %12s %10s\n", "configuration", "seconds", "chips/sec",
+              "speedup");
+  const double tSeq = sequentialSeconds(sources);
+  std::printf("%-24s %10.3f %12.1f %9.2fx\n", "sequential session", tSeq, n / tSeq, 1.0);
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    const double t = batchSeconds(sources, threads);
+    std::printf("batch, %2u thread%s       %10.3f %12.1f %9.2fx\n", threads,
+                threads == 1 ? " " : "s", t, n / t, tSeq / t);
+  }
+  std::printf("(hardware concurrency: %u)\n\n", std::thread::hardware_concurrency());
+}
+
+void BM_SequentialCompile(benchmark::State& state) {
+  const std::vector<std::string> sources = jobMix(1);
+  for (auto _ : state) {
+    for (const std::string& src : sources) {
+      auto result = core::CompileSession(src).run();
+      benchmark::DoNotOptimize(result.hasValue());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sources.size()));
+}
+BENCHMARK(BM_SequentialCompile)->Unit(benchmark::kMillisecond);
+
+void BM_BatchCompile(benchmark::State& state) {
+  const std::vector<std::string> sources = jobMix(1);
+  const core::BatchCompiler batch({}, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    const auto results = batch.compileAll(sources);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sources.size()));
+}
+BENCHMARK(BM_BatchCompile)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -47,6 +47,23 @@ void printTable() {
       std::printf("%8d %8d %12.4f\n", width, regs, t);
     }
   }
+
+  // Per-stage breakdown through the pipeline's own observer hook —
+  // which of the paper's three passes the minutes actually go to.
+  std::printf("\nper-stage breakdown (large chip, via PassObserver):\n");
+  core::TimingObserver timing;
+  core::CompileSession session(core::samples::largeChip(16, 8));
+  session.addObserver(&timing);
+  auto result = session.run();
+  if (!result) {
+    std::fprintf(stderr, "bench compile failed:\n%s\n",
+                 result.diagnostics().toString().c_str());
+    std::abort();
+  }
+  for (const core::Stage s : core::kAllStages) {
+    std::printf("%10s %10.3f ms\n", std::string(core::stageName(s)).c_str(),
+                static_cast<double>(timing.elapsed(s).count()) / 1e6);
+  }
   std::printf("\n");
 }
 

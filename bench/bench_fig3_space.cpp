@@ -40,9 +40,7 @@ void printTable() {
         for (bool seg : {false, true}) {
           if (seg && !two) continue;  // segmenting the only bus isolates the port
           ++total;
-          icl::DiagnosticList diags;
-          core::Compiler c;
-          auto chip = c.compile(chipFor(width, regs, two, seg), diags);
+          auto chip = core::compileChip(chipFor(width, regs, two, seg)).valueOr(nullptr);
           const bool good = chip != nullptr;
           ok += good ? 1 : 0;
           std::printf("%6d %6d %7d %10s %10s %12.0f %10zu\n", width, regs, two ? 2 : 1,

@@ -4,8 +4,8 @@
 
 #pragma once
 
-#include "core/compiler.hpp"
 #include "core/samples.hpp"
+#include "core/session.hpp"
 
 #include <benchmark/benchmark.h>
 
@@ -17,14 +17,13 @@ namespace bb::bench {
 
 inline std::unique_ptr<core::CompiledChip> compile(const std::string& src,
                                                    core::CompileOptions opts = {}) {
-  icl::DiagnosticList diags;
-  core::Compiler c(std::move(opts));
-  auto chip = c.compile(src, diags);
-  if (chip == nullptr) {
-    std::fprintf(stderr, "bench compile failed:\n%s\n", diags.toString().c_str());
+  auto result = core::compileChip(src, std::move(opts));
+  if (!result) {
+    std::fprintf(stderr, "bench compile failed:\n%s\n",
+                 result.diagnostics().toString().c_str());
     std::abort();
   }
-  return chip;
+  return std::move(*result);
 }
 
 inline double lambda2(geom::Coord area) {

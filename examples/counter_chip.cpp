@@ -4,8 +4,8 @@
 /// keep: "software can be written for the chip to explore the
 /// feasibility of the design."
 
-#include "core/compiler.hpp"
 #include "core/samples.hpp"
+#include "core/session.hpp"
 #include "sim/testbench.hpp"
 
 #include <cstdio>
@@ -20,13 +20,12 @@ constexpr unsigned kAdd = 0;
 }  // namespace
 
 int main() {
-  bb::icl::DiagnosticList diags;
-  bb::core::Compiler compiler;
-  auto chip = compiler.compile(bb::core::samples::smallChip(8), diags);
-  if (chip == nullptr) {
-    std::fprintf(stderr, "compile failed:\n%s", diags.toString().c_str());
+  auto result = bb::core::compileChip(bb::core::samples::smallChip(8));
+  if (!result) {
+    std::fprintf(stderr, "compile failed:\n%s", result.diagnostics().toString().c_str());
     return 1;
   }
+  const auto chip = std::move(*result);
   std::printf("%s\n", chip->statsText().c_str());
 
   bb::sim::Simulator sim(chip->logic);

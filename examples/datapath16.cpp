@@ -6,8 +6,8 @@
 ///
 /// Run from the build tree:  ./examples/datapath16 [output-dir]
 
-#include "core/compiler.hpp"
 #include "core/samples.hpp"
+#include "core/session.hpp"
 #include "drc/drc.hpp"
 #include "extract/extract.hpp"
 #include "netlist/spice.hpp"
@@ -19,13 +19,12 @@
 int main(int argc, char** argv) {
   const std::string outDir = argc > 1 ? argv[1] : ".";
 
-  bb::icl::DiagnosticList diags;
-  bb::core::Compiler compiler;
-  auto chip = compiler.compile(bb::core::samples::largeChip(16, 8), diags);
-  if (chip == nullptr) {
-    std::fprintf(stderr, "compile failed:\n%s", diags.toString().c_str());
+  auto result = bb::core::compileChip(bb::core::samples::largeChip(16, 8));
+  if (!result) {
+    std::fprintf(stderr, "compile failed:\n%s", result.diagnostics().toString().c_str());
     return 1;
   }
+  const auto chip = std::move(*result);
   std::printf("%s\n", chip->statsText().c_str());
 
   // Per-cell DRC — the paper's hierarchical discipline.
@@ -41,7 +40,9 @@ int main(int argc, char** argv) {
   }
   std::printf("DRC: %zu cells checked, %zu with violations\n", cellsChecked, dirty);
 
-  // Extraction + SPICE.
+  // Extraction + SPICE. The registry's "spice" emitter extracts
+  // internally; here the netlist is already in hand for the stats
+  // line, so write the deck from it directly rather than extract twice.
   const auto ex = bb::extract::extractCell(*chip->core);
   std::printf("extracted: %zu transistors (%zu enh / %zu dep), %zu nets\n",
               ex.netlist.transistors().size(), ex.netlist.enhancementCount(),

@@ -7,8 +7,8 @@
 
 #include "baseline/naive_pads.hpp"
 #include "cell/flatten.hpp"
-#include "core/compiler.hpp"
 #include "core/samples.hpp"
+#include "core/session.hpp"
 #include "layout/svg.hpp"
 
 #include <cstdio>
@@ -38,15 +38,17 @@ int main(int argc, char** argv) {
   const std::string outDir = argc > 1 ? argv[1] : ".";
   const std::string src = bb::core::samples::smallChip(8);
 
-  bb::icl::DiagnosticList diags;
-  bb::core::CompileOptions naiveOpts;
-  naiveOpts.pass3.rotoRouter = false;
-  auto naive = bb::core::Compiler(naiveOpts).compile(src, diags);
-  auto roto = bb::core::Compiler(bb::core::CompileOptions{}).compile(src, diags);
-  if (naive == nullptr || roto == nullptr) {
-    std::fprintf(stderr, "compile failed:\n%s", diags.toString().c_str());
+  auto naiveResult = bb::core::compileChip(
+      src, bb::core::CompileOptions::builder().rotoRouter(false).build());
+  auto rotoResult = bb::core::compileChip(src);
+  if (!naiveResult || !rotoResult) {
+    std::fprintf(stderr, "compile failed:\n%s%s",
+                 naiveResult.diagnostics().toString().c_str(),
+                 rotoResult.diagnostics().toString().c_str());
     return 1;
   }
+  const auto naive = std::move(*naiveResult);
+  const auto roto = std::move(*rotoResult);
 
   const double unit = bb::geom::kUnitsPerLambda;
   std::printf("pad ring wire length (%zu pads):\n", roto->pads.size());

@@ -3,16 +3,20 @@
 /// down and design a complete chip in a single afternoon?").
 ///
 ///   1. write a one-page chip description,
-///   2. compile it (three passes: core, control, pads),
-///   3. get the mask set and every other representation.
+///   2. open a CompileSession and run the staged pipeline
+///      (parse -> vote -> pass1 -> pass2 -> pass3 -> finalize),
+///      watching each stage through a PassObserver,
+///   3. emit the mask set and every other artifact through the
+///      unified Emitter registry — each backend discoverable by name.
 ///
-/// Run from the build tree:  ./examples/quickstart [output-dir]
+/// Run from the build tree:  ./quickstart [output-dir]
 
-#include "core/compiler.hpp"
-#include "reps/reps.hpp"
+#include "core/session.hpp"
+#include "reps/emitter.hpp"
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 namespace {
 
@@ -36,39 +40,59 @@ core {
 }
 )";
 
-void save(const std::string& dir, const std::string& name, const std::string& text) {
-  std::ofstream f(dir + "/" + name, std::ios::binary);
-  f << text;
-  std::printf("  wrote %s/%s (%zu bytes)\n", dir.c_str(), name.c_str(), text.size());
-}
+/// Watch the pipeline: one line per stage as it completes.
+class ProgressObserver : public bb::core::PassObserver {
+ public:
+  void onStageEnd(bb::core::Stage s, const bb::core::CompileSession&, bool ok,
+                  std::chrono::nanoseconds ns) override {
+    std::printf("  stage %-8s %s  (%.2f ms)\n",
+                std::string(bb::core::stageName(s)).c_str(), ok ? "ok" : "FAILED",
+                static_cast<double>(ns.count()) / 1e6);
+  }
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string outDir = argc > 1 ? argv[1] : ".";
 
-  bb::icl::DiagnosticList diags;
-  bb::core::Compiler compiler;
-  auto chip = compiler.compile(kChip, diags);
-  if (chip == nullptr) {
-    std::fprintf(stderr, "compile failed:\n%s", diags.toString().c_str());
+  // The staged pipeline, with a pass-level observer attached.
+  bb::core::CompileSession session(kChip);
+  ProgressObserver progress;
+  session.addObserver(&progress);
+
+  std::printf("compiling:\n");
+
+  // Stages can be driven one at a time: stop after pass1 to inspect the
+  // core placement before any control or pad work has happened.
+  if (!session.runTo(bb::core::Stage::Pass1)) {
+    std::fprintf(stderr, "compile failed:\n%s", session.diagnostics().toString().c_str());
     return 1;
   }
+  std::printf("\nafter pass1: %zu placed columns, core not yet ringed\n",
+              session.chip()->placed.size());
 
-  std::printf("compiled chip '%s'\n\n%s\n", chip->desc.name.c_str(),
+  // Then let the rest of the pipeline run.
+  auto result = session.run();
+  if (!result) {
+    std::fprintf(stderr, "compile failed:\n%s", result.diagnostics().toString().c_str());
+    return 1;
+  }
+  const auto chip = std::move(*result);
+  std::printf("\ncompiled chip '%s'\n\n%s\n", chip->desc.name.c_str(),
               chip->statsText().c_str());
 
-  const bb::reps::RepresentationSet rs = bb::reps::generateAll(*chip);
-  std::printf("representations (%d/7):\n", rs.populatedCount());
-  save(outDir, "afternoon.cif", rs.cif);
-  save(outDir, "afternoon.svg", rs.layoutSvg);
-  save(outDir, "afternoon_sticks.svg", rs.sticksSvg);
-  save(outDir, "afternoon_manual.txt", rs.userManual);
-  std::ofstream gds(outDir + "/afternoon.gds", std::ios::binary);
-  gds.write(reinterpret_cast<const char*>(rs.gds.data()),
-            static_cast<std::streamsize>(rs.gds.size()));
-  std::printf("  wrote %s/afternoon.gds (%zu bytes)\n\n", outDir.c_str(), rs.gds.size());
-
-  std::printf("%s\n", rs.blockText.c_str());
+  // Every output format lives in one registry, discoverable by name.
+  const bb::reps::EmitterRegistry& emitters = bb::reps::EmitterRegistry::global();
+  std::printf("emitters (%zu registered):\n", emitters.size());
+  for (const std::string_view name : emitters.names()) {
+    const bb::reps::Emitter* e = emitters.find(name);
+    const std::string file = "afternoon_" + std::string(name) + "." +
+                             std::string(e->fileExtension());
+    std::ofstream out(outDir + "/" + file, std::ios::binary);
+    e->emit(*chip, out);
+    std::printf("  %-10s -> %s/%s  (%s)\n", std::string(name).c_str(), outDir.c_str(),
+                file.c_str(), std::string(e->description()).c_str());
+  }
   return 0;
 }

@@ -1,0 +1,54 @@
+/// \file batch.hpp
+/// High-throughput compilation: run many chip descriptions through the
+/// staged pipeline concurrently. Every worker drives its own
+/// `CompileSession` (the element generators rebuild cells per chip, so
+/// sessions share nothing mutable and need no locking); jobs are pulled
+/// from a shared atomic cursor so stragglers don't serialize the batch.
+
+#pragma once
+
+#include "core/session.hpp"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace bb::core {
+
+struct BatchJob {
+  std::string name;    ///< label for reports; defaults to the chip's own name
+  std::string source;  ///< chip description text
+  CompileOptions opts; ///< per-job options (seeded from the batch default)
+};
+
+struct BatchResult {
+  std::string name;
+  CompiledChipPtr chip;  ///< null when the compile failed
+  icl::DiagnosticList diags;
+  std::chrono::nanoseconds elapsed{};
+
+  [[nodiscard]] bool ok() const noexcept { return chip != nullptr; }
+};
+
+class BatchCompiler {
+ public:
+  /// `threads` == 0 picks the hardware concurrency.
+  explicit BatchCompiler(CompileOptions defaults = {}, unsigned threads = 0);
+
+  /// Compile every job; results come back in job order. A failed job
+  /// carries its diagnostics, it never aborts the batch.
+  [[nodiscard]] std::vector<BatchResult> compileAll(std::vector<BatchJob> jobs) const;
+
+  /// Convenience: bare sources, batch-default options.
+  [[nodiscard]] std::vector<BatchResult> compileAll(
+      const std::vector<std::string>& sources) const;
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  [[nodiscard]] const CompileOptions& defaults() const noexcept { return defaults_; }
+
+ private:
+  CompileOptions defaults_;
+  unsigned threads_;
+};
+
+}  // namespace bb::core

@@ -1,36 +1,31 @@
 #include "core/compiler.hpp"
 
-#include "cell/flatten.hpp"
-#include "icl/parser.hpp"
-
 namespace bb::core {
+
+namespace {
+
+std::unique_ptr<CompiledChip> drain(CompileSession&& session, icl::DiagnosticList& diags) {
+  auto outcome = session.run();
+  for (const icl::Diagnostic& d : outcome.diagnostics().all()) {
+    switch (d.severity) {
+      case icl::Severity::Error: diags.error(d.loc, d.message); break;
+      case icl::Severity::Warning: diags.warning(d.loc, d.message); break;
+      case icl::Severity::Note: diags.note(d.loc, d.message); break;
+    }
+  }
+  return outcome ? std::move(*outcome) : nullptr;
+}
+
+}  // namespace
 
 std::unique_ptr<CompiledChip> Compiler::compile(std::string_view source,
                                                 icl::DiagnosticList& diags) {
-  auto desc = icl::parseChip(source, diags);
-  if (!desc) return nullptr;
-  return compile(*desc, diags);
+  return drain(CompileSession(std::string(source), opts_), diags);
 }
 
 std::unique_ptr<CompiledChip> Compiler::compile(const icl::ChipDesc& desc,
                                                 icl::DiagnosticList& diags) {
-  auto chip = std::make_unique<CompiledChip>();
-  chip->desc = desc;
-
-  // Conditional assembly resolves the element list before any pass runs.
-  const std::vector<icl::ElementDecl> decls = icl::assembleCore(desc, opts_.vars, diags);
-  if (diags.hasErrors()) return nullptr;
-
-  if (!runPass1(*chip, decls, opts_.pass1, diags)) return nullptr;
-  if (!runPass2(*chip, opts_.pass2, diags)) return nullptr;
-  if (!runPass3(*chip, opts_.pass3, diags)) return nullptr;
-
-  // Final bookkeeping for reports.
-  chip->stats.cellCount = chip->lib.size();
-  chip->stats.shapeCount = cell::flatten(*chip->top).totalCount();
-  chip->stats.logicGates = chip->logic.gates().size();
-  chip->stats.logicSignals = chip->logic.signalCount();
-  return chip;
+  return drain(CompileSession(desc, opts_), diags);
 }
 
 }  // namespace bb::core

@@ -1,41 +1,33 @@
 /// \file compiler.hpp
-/// The Bristle Blocks silicon compiler: one call takes the single-page
-/// chip description to a complete mask set, in three passes — core,
-/// control, pads — exactly as the paper lays out.
+/// DEPRECATED facade. The original API was one opaque call taking the
+/// single-page chip description to a complete mask set; it survives as a
+/// thin shim over the staged `CompileSession` pipeline (see session.hpp)
+/// so old call sites keep building. New code should use `CompileSession`
+/// (stage-at-a-time control, observers, `Expected` results) or the
+/// one-shot `compileChip()` helper.
 
 #pragma once
 
-#include "core/chip.hpp"
-#include "core/pass1_core.hpp"
-#include "core/pass2_control.hpp"
-#include "core/pass3_pads.hpp"
+#include "core/session.hpp"
 
-#include <map>
 #include <memory>
 #include <string_view>
 
 namespace bb::core {
-
-struct CompileOptions {
-  /// Conditional-assembly variable overrides ("at any time prior to
-  /// actually compiling the chip, the user may decide").
-  std::map<std::string, bool> vars;
-  Pass1Options pass1;
-  Pass2Options pass2;
-  Pass3Options pass3;
-};
 
 class Compiler {
  public:
   explicit Compiler(CompileOptions opts = {}) : opts_(std::move(opts)) {}
 
   /// Compile from source text. Returns nullptr with diagnostics on error.
-  [[nodiscard]] std::unique_ptr<CompiledChip> compile(std::string_view source,
-                                                      icl::DiagnosticList& diags);
+  [[deprecated("use CompileSession / compileChip()")]] [[nodiscard]]
+  std::unique_ptr<CompiledChip> compile(std::string_view source,
+                                        icl::DiagnosticList& diags);
 
   /// Compile an already-parsed description.
-  [[nodiscard]] std::unique_ptr<CompiledChip> compile(const icl::ChipDesc& desc,
-                                                      icl::DiagnosticList& diags);
+  [[deprecated("use CompileSession / compileChip()")]] [[nodiscard]]
+  std::unique_ptr<CompiledChip> compile(const icl::ChipDesc& desc,
+                                        icl::DiagnosticList& diags);
 
   [[nodiscard]] const CompileOptions& options() const noexcept { return opts_; }
 

@@ -1,0 +1,77 @@
+/// \file expected.hpp
+/// Value-style results for the staged compiler API. An `Expected<T>`
+/// carries either a value or the diagnostics that explain its absence
+/// (and, on success, any warnings produced along the way) — replacing
+/// the old out-param `DiagnosticList&` idiom of the `Compiler` facade.
+
+#pragma once
+
+#include "icl/diagnostics.hpp"
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+namespace bb::core {
+
+template <typename T>
+class Expected {
+ public:
+  /// Success. Diagnostics may still carry warnings/notes.
+  Expected(T value, icl::DiagnosticList diags = {})
+      : value_(std::move(value)), diags_(std::move(diags)) {}
+
+  /// Failure: the diagnostics say why. Asserts they actually contain an
+  /// error so a silent empty failure can't be constructed by accident.
+  static Expected failure(icl::DiagnosticList diags) {
+    assert(diags.hasErrors() && "Expected::failure needs at least one error");
+    return Expected(std::move(diags));
+  }
+
+  [[nodiscard]] bool hasValue() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return hasValue(); }
+
+  [[nodiscard]] T& value() & {
+    assert(hasValue());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(hasValue());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(hasValue());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value or a caller-supplied fallback (copies; for copyable T).
+  template <typename U>
+  [[nodiscard]] T valueOr(U&& fallback) const& {
+    return hasValue() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+  /// Move-out variant so move-only values (e.g. CompiledChipPtr) work:
+  /// `compileChip(src).valueOr(nullptr)`.
+  template <typename U>
+  [[nodiscard]] T valueOr(U&& fallback) && {
+    return hasValue() ? std::move(*value_) : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  /// Diagnostics are always available: errors on failure, warnings/notes
+  /// (possibly none) on success.
+  [[nodiscard]] const icl::DiagnosticList& diagnostics() const noexcept { return diags_; }
+  [[nodiscard]] icl::DiagnosticList& diagnostics() noexcept { return diags_; }
+
+ private:
+  explicit Expected(icl::DiagnosticList diags) : diags_(std::move(diags)) {}
+
+  std::optional<T> value_;
+  icl::DiagnosticList diags_;
+};
+
+}  // namespace bb::core

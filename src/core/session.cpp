@@ -1,0 +1,141 @@
+#include "core/session.hpp"
+
+#include "cell/flatten.hpp"
+#include "icl/parser.hpp"
+
+#include <sstream>
+
+namespace bb::core {
+
+std::string_view stageName(Stage s) noexcept {
+  switch (s) {
+    case Stage::Parse: return "parse";
+    case Stage::Vote: return "vote";
+    case Stage::Pass1: return "pass1";
+    case Stage::Pass2: return "pass2";
+    case Stage::Pass3: return "pass3";
+    case Stage::Finalize: return "finalize";
+  }
+  return "?";
+}
+
+std::chrono::nanoseconds TimingObserver::total() const noexcept {
+  std::chrono::nanoseconds sum{};
+  for (const auto ns : ns_) sum += ns;
+  return sum;
+}
+
+std::string TimingObserver::report() const {
+  std::ostringstream os;
+  for (const Stage s : kAllStages) {
+    os << stageName(s) << ": " << elapsed(s).count() / 1e6 << " ms\n";
+  }
+  os << "total: " << total().count() / 1e6 << " ms\n";
+  return os.str();
+}
+
+CompileSession::CompileSession(std::string source, CompileOptions opts)
+    : opts_(std::move(opts)), source_(std::move(source)) {}
+
+CompileSession::CompileSession(icl::ChipDesc desc, CompileOptions opts)
+    : opts_(std::move(opts)), haveDesc_(true), desc_(std::move(desc)) {}
+
+void CompileSession::addObserver(PassObserver* obs) {
+  if (obs != nullptr) observers_.push_back(obs);
+}
+
+const icl::ChipDesc* CompileSession::description() const noexcept {
+  return parsed_ ? &desc_ : nullptr;
+}
+
+bool CompileSession::runNext() {
+  if (failed_ || finished_) return false;
+  return runStage(next_);
+}
+
+bool CompileSession::runTo(Stage last) {
+  while (!failed_ && !finished_ && next_ <= last) {
+    if (!runStage(next_)) return false;
+  }
+  return !failed_;
+}
+
+Expected<CompiledChipPtr> CompileSession::run() {
+  runTo(Stage::Finalize);
+  if (failed_) return Expected<CompiledChipPtr>::failure(diags_);
+  CompiledChipPtr chip = takeChip();
+  if (chip == nullptr) {
+    // Finished but the chip is gone: a second run() (or run() after
+    // takeChip()) must not hand back a truthy-but-null result.
+    icl::DiagnosticList diags = diags_;
+    diags.error({}, "compile session already surrendered its chip");
+    return Expected<CompiledChipPtr>::failure(std::move(diags));
+  }
+  return Expected<CompiledChipPtr>(std::move(chip), diags_);
+}
+
+CompiledChipPtr CompileSession::takeChip() {
+  return finished_ ? std::move(chip_) : nullptr;
+}
+
+bool CompileSession::runStage(Stage s) {
+  for (PassObserver* obs : observers_) obs->onStageBegin(s, *this);
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = execute(s);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  if (ok) {
+    if (s == Stage::Finalize) {
+      finished_ = true;
+    } else {
+      next_ = static_cast<Stage>(static_cast<std::uint8_t>(s) + 1);
+    }
+  } else {
+    failed_ = true;
+  }
+  for (PassObserver* obs : observers_) obs->onStageEnd(s, *this, ok, elapsed);
+  return ok;
+}
+
+bool CompileSession::execute(Stage s) {
+  switch (s) {
+    case Stage::Parse: {
+      if (!haveDesc_) {
+        auto desc = icl::parseChip(source_, diags_);
+        if (!desc) return false;
+        desc_ = std::move(*desc);
+      }
+      parsed_ = true;
+      return true;
+    }
+    case Stage::Vote: {
+      // Conditional assembly resolves the element list before any pass
+      // runs; this is where the user's last-minute variable overrides
+      // take effect.
+      decls_ = icl::assembleCore(desc_, opts_.vars, diags_);
+      if (diags_.hasErrors()) return false;
+      chip_ = std::make_unique<CompiledChip>();
+      chip_->desc = desc_;
+      return true;
+    }
+    case Stage::Pass1:
+      return runPass1(*chip_, decls_, opts_.pass1, diags_);
+    case Stage::Pass2:
+      return runPass2(*chip_, opts_.pass2, diags_);
+    case Stage::Pass3:
+      return runPass3(*chip_, opts_.pass3, diags_);
+    case Stage::Finalize: {
+      chip_->stats.cellCount = chip_->lib.size();
+      chip_->stats.shapeCount = cell::flatten(*chip_->top).totalCount();
+      chip_->stats.logicGates = chip_->logic.gates().size();
+      chip_->stats.logicSignals = chip_->logic.signalCount();
+      return true;
+    }
+  }
+  return false;
+}
+
+Expected<CompiledChipPtr> compileChip(std::string_view source, CompileOptions opts) {
+  return CompileSession(std::string(source), std::move(opts)).run();
+}
+
+}  // namespace bb::core

@@ -1,0 +1,139 @@
+/// \file session.hpp
+/// The staged compiler pipeline. A `CompileSession` walks the paper's
+/// flow as six explicit, individually runnable stages:
+///
+///   parse -> vote -> pass1 -> pass2 -> pass3 -> finalize
+///
+/// where `vote` is the conditional-assembly step that fixes the element
+/// list ("at any time prior to actually compiling the chip, the user may
+/// decide ..."), and finalize fills the bookkeeping stats. Each stage can
+/// be run one at a time and the partial chip inspected in between — stop
+/// after pass1 and look at the placement, attach a `PassObserver` for
+/// per-stage timing, or just call `run()` for the whole flow.
+
+#pragma once
+
+#include "core/chip.hpp"
+#include "core/expected.hpp"
+#include "core/options.hpp"
+
+#include <array>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bb::core {
+
+enum class Stage : std::uint8_t { Parse = 0, Vote, Pass1, Pass2, Pass3, Finalize };
+
+inline constexpr std::array<Stage, 6> kAllStages = {Stage::Parse, Stage::Vote,
+                                                    Stage::Pass1, Stage::Pass2,
+                                                    Stage::Pass3, Stage::Finalize};
+
+[[nodiscard]] std::string_view stageName(Stage s) noexcept;
+
+class CompileSession;
+
+/// Pass-level hook: attach to a session to watch stages run. Used for
+/// timing, progress reporting and instrumentation; observers are
+/// non-owning and must outlive the session's stage runs.
+class PassObserver {
+ public:
+  virtual ~PassObserver() = default;
+  virtual void onStageBegin(Stage, const CompileSession&) {}
+  virtual void onStageEnd(Stage, const CompileSession&, bool /*ok*/,
+                          std::chrono::nanoseconds) {}
+};
+
+/// Ready-made observer: records wall-clock time per stage.
+class TimingObserver : public PassObserver {
+ public:
+  void onStageEnd(Stage s, const CompileSession&, bool,
+                  std::chrono::nanoseconds ns) override {
+    ns_[static_cast<std::size_t>(s)] += ns;
+  }
+
+  [[nodiscard]] std::chrono::nanoseconds elapsed(Stage s) const noexcept {
+    return ns_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::chrono::nanoseconds total() const noexcept;
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::array<std::chrono::nanoseconds, kAllStages.size()> ns_{};
+};
+
+using CompiledChipPtr = std::unique_ptr<CompiledChip>;
+
+class CompileSession {
+ public:
+  /// A session over source text: starts at the parse stage.
+  explicit CompileSession(std::string source, CompileOptions opts = {});
+
+  /// A session over an already-parsed description: the parse stage is a
+  /// no-op that adopts `desc`.
+  CompileSession(icl::ChipDesc desc, CompileOptions opts = {});
+
+  CompileSession(CompileSession&&) = default;
+  CompileSession& operator=(CompileSession&&) = default;
+
+  void addObserver(PassObserver* obs);
+
+  // ---- driving the pipeline -------------------------------------------
+  /// The stage the next `runNext()` would execute. Meaningless once
+  /// `finished()` or `failed()`.
+  [[nodiscard]] Stage nextStage() const noexcept { return next_; }
+  /// True once finalize has completed successfully.
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  /// True once any stage has diagnosed an error; later stages refuse to run.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// Run exactly one stage. Returns false if the stage failed, the
+  /// session had already failed, or the pipeline is already finished.
+  bool runNext();
+  /// Run stages up to and including `last`. False on failure.
+  bool runTo(Stage last);
+  /// Run everything that is left and hand over the chip.
+  [[nodiscard]] Expected<CompiledChipPtr> run();
+
+  // ---- inspection between stages --------------------------------------
+  [[nodiscard]] const icl::DiagnosticList& diagnostics() const noexcept { return diags_; }
+  /// The parsed description (after the parse stage; null before).
+  [[nodiscard]] const icl::ChipDesc* description() const noexcept;
+  /// The conditionally-assembled element list (after the vote stage).
+  [[nodiscard]] const std::vector<icl::ElementDecl>& assembledElements() const noexcept {
+    return decls_;
+  }
+  /// The chip under construction — partial until finalize. Null before
+  /// the vote stage or after `takeChip()`.
+  [[nodiscard]] const CompiledChip* chip() const noexcept { return chip_.get(); }
+  /// Take ownership of the finished chip (after finalize).
+  [[nodiscard]] CompiledChipPtr takeChip();
+
+  [[nodiscard]] const CompileOptions& options() const noexcept { return opts_; }
+
+ private:
+  bool runStage(Stage s);
+  bool execute(Stage s);
+
+  CompileOptions opts_;
+  std::string source_;
+  bool haveDesc_ = false;  ///< constructed from a ChipDesc (parse adopts it)
+  icl::ChipDesc desc_;
+  std::vector<icl::ElementDecl> decls_;
+  CompiledChipPtr chip_;
+  icl::DiagnosticList diags_;
+  std::vector<PassObserver*> observers_;
+  Stage next_ = Stage::Parse;
+  bool parsed_ = false;
+  bool finished_ = false;
+  bool failed_ = false;
+};
+
+/// One-shot convenience: the whole pipeline over source text.
+[[nodiscard]] Expected<CompiledChipPtr> compileChip(std::string_view source,
+                                                    CompileOptions opts = {});
+
+}  // namespace bb::core

@@ -1,0 +1,77 @@
+/// \file emitter.hpp
+/// One interface for every output path. The seed scattered five ways of
+/// getting artifacts out of a compiled chip (CIF and GDS writers, the
+/// SVG renderer, the SPICE deck, and the text/sticks/block
+/// representations) behind five unrelated signatures; the `Emitter`
+/// registry unifies them: every backend is discoverable by name and
+/// writes to a `std::ostream`, so tools can enumerate and select output
+/// formats at run time.
+
+#pragma once
+
+#include "core/chip.hpp"
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bb::reps {
+
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+
+  /// Registry key, e.g. "cif", "gds", "svg", "spice", "text".
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// Suggested file extension (no dot), e.g. "cif", "sp", "svg".
+  [[nodiscard]] virtual std::string_view fileExtension() const noexcept = 0;
+  /// True when the output is a byte stream (GDSII), not text.
+  [[nodiscard]] virtual bool binary() const noexcept { return false; }
+  /// One-line human description for listings.
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// Write the chip's artifact in this format.
+  virtual void emit(const core::CompiledChip& chip, std::ostream& os) const = 0;
+
+  /// Convenience: emit to a string.
+  [[nodiscard]] std::string emitToString(const core::CompiledChip& chip) const;
+};
+
+/// Name -> emitter. The global registry is pre-populated with every
+/// built-in backend; callers may add their own (a same-name emitter
+/// shadows the earlier one). All operations are mutex-guarded so
+/// `BatchCompiler` workers can emit while another thread registers;
+/// emitters are never destroyed while the registry lives, so a found
+/// pointer stays valid.
+class EmitterRegistry {
+ public:
+  EmitterRegistry() = default;
+
+  /// The process-wide registry with all built-in emitters registered.
+  [[nodiscard]] static EmitterRegistry& global();
+
+  /// Register an emitter under its own name (shadows a same-name one).
+  void add(std::unique_ptr<Emitter> emitter);
+
+  /// Null when no emitter has that name.
+  [[nodiscard]] const Emitter* find(std::string_view name) const;
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string_view> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Emit by name; false when the name is unknown.
+  bool emit(const core::CompiledChip& chip, std::string_view name, std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Emitter>> emitters_;
+};
+
+/// Register every built-in backend into `reg` (used by `global()`;
+/// exposed so tests can build an isolated registry).
+void registerBuiltinEmitters(EmitterRegistry& reg);
+
+}  // namespace bb::reps

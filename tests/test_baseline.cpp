@@ -3,7 +3,7 @@
 /// compiled area is within the claimed band of ideal hand layout).
 
 #include "baseline/handlayout.hpp"
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "core/samples.hpp"
 #include "icl/parser.hpp"
 
@@ -30,10 +30,9 @@ TEST(Baseline, StretchedCoreBeatsRoutedCore) {
   // The design decision the paper states: "To save the space and costly
   // routing needed if cell widths vary, a design constraint states that
   // all cells must be of equal width."
-  icl::DiagnosticList diags;
-  core::Compiler c;
-  auto chip = c.compile(core::samples::smallChip(8), diags);
-  ASSERT_NE(chip, nullptr) << diags.toString();
+  auto compiled = core::compileChip(core::samples::smallChip(8));
+  ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
+  auto chip = std::move(*compiled);
 
   icl::DiagnosticList d2;
   auto desc = icl::parseChip(core::samples::smallChip(8), d2);
@@ -49,10 +48,9 @@ TEST(Baseline, CompiledWithinBandOfIdealHand) {
   // The paper: compiled chips land within roughly +/-10% of hand layout.
   // Our ideal-hand bound has zero routing overhead, so compiled should
   // land above it but within ~35% (the claim's shape).
-  icl::DiagnosticList diags;
-  core::Compiler c;
-  auto chip = c.compile(core::samples::smallChip(8), diags);
-  ASSERT_NE(chip, nullptr) << diags.toString();
+  auto compiled = core::compileChip(core::samples::smallChip(8));
+  ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
+  auto chip = std::move(*compiled);
   const geom::Coord hand = baseline::idealHandCoreArea(*chip);
   ASSERT_GT(hand, 0);
   const double ratio = static_cast<double>(chip->stats.coreArea) / static_cast<double>(hand);

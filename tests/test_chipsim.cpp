@@ -2,7 +2,7 @@
 /// the feasibility of the design" — we write and run microcode programs
 /// against compiled chips and check the architectural results.
 
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "core/samples.hpp"
 #include "sim/testbench.hpp"
 
@@ -20,10 +20,9 @@ constexpr unsigned kAluAdd = 0, kAluAnd = 1, kAluOr = 2, kAluPassA = 3;
 class SmallChipSim : public ::testing::Test {
  protected:
   void SetUp() override {
-    icl::DiagnosticList diags;
-    core::Compiler c;
-    chip_ = c.compile(core::samples::smallChip(8), diags);
-    ASSERT_NE(chip_, nullptr) << diags.toString();
+    auto compiled = core::compileChip(core::samples::smallChip(8));
+    ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
+    chip_ = std::move(*compiled);
     sim_ = std::make_unique<sim::Simulator>(chip_->logic);
   }
 
@@ -118,10 +117,9 @@ TEST_F(SmallChipSim, AccumulateLoop) {
 }
 
 TEST(ChipSimSegmented, SegmentsAreElectricallySeparate) {
-  icl::DiagnosticList diags;
-  core::Compiler c;
-  auto chip = c.compile(core::samples::segmentedChip(8), diags);
-  ASSERT_NE(chip, nullptr) << diags.toString();
+  auto compiled = core::compileChip(core::samples::segmentedChip(8));
+  ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
+  auto chip = std::move(*compiled);
   sim::Simulator sim(chip->logic);
   // Drive input pads, execute op==1 (IN drives segment-1 of A)... then
   // check that the two B segments resolve independently: write R0 via

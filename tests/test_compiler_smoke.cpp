@@ -11,11 +11,9 @@ namespace {
 
 std::unique_ptr<core::CompiledChip> compileOrDie(const std::string& src,
                                                  core::CompileOptions opts = {}) {
-  icl::DiagnosticList diags;
-  core::Compiler c(std::move(opts));
-  auto chip = c.compile(src, diags);
-  EXPECT_TRUE(chip != nullptr) << diags.toString();
-  return chip;
+  auto result = core::compileChip(src, std::move(opts));
+  EXPECT_TRUE(result.hasValue()) << result.diagnostics().toString();
+  return result ? std::move(*result) : nullptr;
 }
 
 TEST(CompilerSmoke, SmallChipCompiles) {
@@ -89,12 +87,37 @@ TEST(CompilerSmoke, BusStopSplitsSegmentsAndAddsPrecharge) {
 }
 
 TEST(CompilerSmoke, BadInputDiagnosedNotCrash) {
+  auto result = core::compileChip("chip broken; data width 8;");
+  EXPECT_FALSE(result.hasValue());
+  EXPECT_TRUE(result.diagnostics().hasErrors());
+}
+
+// The pre-pipeline facade must keep working: it is a thin shim over
+// CompileSession and has to produce the same chip.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TEST(CompilerSmoke, DeprecatedFacadeDelegatesToPipeline) {
   icl::DiagnosticList diags;
   core::Compiler c;
-  auto chip = c.compile("chip broken; data width 8;", diags);
-  EXPECT_EQ(chip, nullptr);
-  EXPECT_TRUE(diags.hasErrors());
+  auto viaShim = c.compile(core::samples::smallChip(), diags);
+  ASSERT_NE(viaShim, nullptr) << diags.toString();
+
+  auto viaSession = compileOrDie(core::samples::smallChip());
+  ASSERT_NE(viaSession, nullptr);
+  EXPECT_EQ(viaShim->stats.dieArea, viaSession->stats.dieArea);
+  EXPECT_EQ(viaShim->stats.padCount, viaSession->stats.padCount);
+  EXPECT_EQ(viaShim->stats.shapeCount, viaSession->stats.shapeCount);
+
+  // Failure path still reports through the out-param list.
+  icl::DiagnosticList bad;
+  EXPECT_EQ(c.compile("chip broken; data width 8;", bad), nullptr);
+  EXPECT_TRUE(bad.hasErrors());
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 }  // namespace bb

@@ -3,7 +3,7 @@
 /// ("design rule checking [is] performed on individual cells as the
 /// cells are designed, rather than on fully instantiated artwork").
 
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "core/samples.hpp"
 #include "cell/stretch.hpp"
 #include "drc/drc.hpp"
@@ -125,28 +125,25 @@ class KitDrc : public ::testing::Test {
 };
 
 TEST_F(KitDrc, SmallChipCellsClean) {
-  icl::DiagnosticList diags;
-  core::Compiler comp;
-  auto chip = comp.compile(core::samples::smallChip(4), diags);
-  ASSERT_NE(chip, nullptr) << diags.toString();
+  auto compiled = core::compileChip(core::samples::smallChip(4));
+  ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
+  auto chip = std::move(*compiled);
   EXPECT_EQ(checkLibrary(*chip), "");
 }
 
 TEST_F(KitDrc, SegmentedChipCellsClean) {
-  icl::DiagnosticList diags;
-  core::Compiler comp;
-  auto chip = comp.compile(core::samples::segmentedChip(4), diags);
-  ASSERT_NE(chip, nullptr) << diags.toString();
+  auto compiled = core::compileChip(core::samples::segmentedChip(4));
+  ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
+  auto chip = std::move(*compiled);
   EXPECT_EQ(checkLibrary(*chip), "");
 }
 
 TEST_F(KitDrc, StretchedCellsStayClean) {
   // The core property behind "a painless operation": stretching a clean
   // cell along its declared stretch lines cannot create violations.
-  icl::DiagnosticList diags;
-  core::Compiler comp;
-  auto chip = comp.compile(core::samples::smallChip(2), diags);
-  ASSERT_NE(chip, nullptr) << diags.toString();
+  auto compiled = core::compileChip(core::samples::smallChip(2));
+  ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
+  auto chip = std::move(*compiled);
   for (const cell::Cell* c : chip->lib.all()) {
     if (c->stretchLines().empty()) continue;
     if (!checkCell(*c, meadConwayRules()).clean()) continue;  // skip already-dirty

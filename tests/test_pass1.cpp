@@ -3,7 +3,7 @@
 /// assembly invariants (abutment, trunks, control x-offsets).
 
 #include "cell/flatten.hpp"
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "core/samples.hpp"
 #include "elements/slicekit.hpp"
 
@@ -16,11 +16,9 @@ using elements::lam;
 
 std::unique_ptr<core::CompiledChip> compileOk(const std::string& src,
                                               core::CompileOptions opts = {}) {
-  icl::DiagnosticList diags;
-  core::Compiler c(std::move(opts));
-  auto chip = c.compile(src, diags);
-  EXPECT_NE(chip, nullptr) << diags.toString();
-  return chip;
+  auto result = core::compileChip(src, std::move(opts));
+  EXPECT_TRUE(result) << result.diagnostics().toString();
+  return result ? std::move(*result) : nullptr;
 }
 
 TEST(Pass1, ColumnsAbutWithoutGapsOrOverlaps) {
@@ -123,13 +121,10 @@ TEST(Pass1, PowerDemandAggregatesElementLoads) {
 }
 
 TEST(Pass1, EmptyCoreDiagnosed) {
-  icl::DiagnosticList diags;
-  core::Compiler c;
-  auto chip = c.compile(
-      "chip empty; microcode width 4 { field op [0:3]; } data width 4; buses A; core { }",
-      diags);
-  EXPECT_EQ(chip, nullptr);
-  EXPECT_TRUE(diags.hasErrors());
+  auto result = core::compileChip(
+      "chip empty; microcode width 4 { field op [0:3]; } data width 4; buses A; core { }");
+  EXPECT_FALSE(result);
+  EXPECT_TRUE(result.diagnostics().hasErrors());
 }
 
 // Property sweep: the common-pitch invariant holds for every data width.

@@ -2,7 +2,7 @@
 /// even spacing, and wiring bookkeeping.
 
 #include "baseline/naive_pads.hpp"
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "core/samples.hpp"
 
 #include <gtest/gtest.h>
@@ -13,11 +13,9 @@ namespace bb {
 namespace {
 
 std::unique_ptr<core::CompiledChip> compileSmall(core::CompileOptions opts = {}) {
-  icl::DiagnosticList diags;
-  core::Compiler c(std::move(opts));
-  auto chip = c.compile(core::samples::smallChip(8), diags);
-  EXPECT_NE(chip, nullptr) << diags.toString();
-  return chip;
+  auto result = core::compileChip(core::samples::smallChip(8), std::move(opts));
+  EXPECT_TRUE(result) << result.diagnostics().toString();
+  return result ? std::move(*result) : nullptr;
 }
 
 TEST(Pass3, EveryRequestGetsExactlyOnePad) {

@@ -1,7 +1,7 @@
 /// The seven representations: every compiled chip must produce all of
 /// them, and each must reflect the chip it came from.
 
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "core/samples.hpp"
 #include "reps/reps.hpp"
 
@@ -13,10 +13,9 @@ namespace {
 class Reps : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    icl::DiagnosticList diags;
-    core::Compiler c;
-    chip_ = c.compile(core::samples::smallChip(4), diags).release();
-    ASSERT_NE(chip_, nullptr) << diags.toString();
+    auto compiled = core::compileChip(core::samples::smallChip(4));
+    ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
+    chip_ = std::move(*compiled).release();
     rs_ = new reps::RepresentationSet(reps::generateAll(*chip_));
   }
   static void TearDownTestSuite() {
