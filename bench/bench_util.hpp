@@ -10,10 +10,77 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 namespace bb::bench {
+
+/// Machine-readable perf records. Benches `record()` one row per
+/// (configuration, problem size) and `write()` a JSON array to
+/// BENCH.json; an existing file is merged into, so several benches run
+/// back-to-back (the CI perf-smoke job) build one combined file and the
+/// perf trajectory is recorded rather than scrolled away.
+///
+/// Row shape: {"name": ..., "n": ..., "ns_per_op": ..., "items_per_sec": ...}
+/// where items are whatever the bench processes (chips, rects, ...).
+class BenchJson {
+ public:
+  static BenchJson& instance() {
+    static BenchJson inst;
+    return inst;
+  }
+
+  void record(std::string name, long long n, double nsPerOp, double itemsPerSec) {
+    rows_.push_back({std::move(name), n, nsPerOp, itemsPerSec});
+  }
+
+  /// Names are bench-internal identifiers ([a-z0-9_]), not user text, so
+  /// no JSON string escaping is needed.
+  void write(const std::string& path = "BENCH.json") const {
+    std::string existing;
+    {
+      std::ifstream in(path);
+      if (in) {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        existing = ss.str();
+      }
+    }
+    // Merge with a previous array: strip its closing bracket and append.
+    const auto close = existing.rfind(']');
+    std::ofstream out(path, std::ios::trunc);
+    bool first = true;
+    if (close != std::string::npos && existing.find('[') != std::string::npos) {
+      out << existing.substr(0, close);
+      first = existing.find('{') == std::string::npos;  // was it empty?
+    } else {
+      out << "[\n";
+    }
+    for (const Row& r : rows_) {
+      if (!first) out << ",\n";
+      first = false;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "  {\"name\": \"%s\", \"n\": %lld, \"ns_per_op\": %.1f, "
+                    "\"items_per_sec\": %.1f}",
+                    r.name.c_str(), r.n, r.nsPerOp, r.itemsPerSec);
+      out << buf;
+    }
+    out << "\n]\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    long long n;
+    double nsPerOp;
+    double itemsPerSec;
+  };
+  std::vector<Row> rows_;
+};
 
 inline std::unique_ptr<core::CompiledChip> compile(const std::string& src,
                                                    core::CompileOptions opts = {}) {

@@ -2,6 +2,18 @@
 
 namespace bb::cell {
 
+const geom::RectIndex& FlatLayout::indexOn(tech::Layer l) const {
+  const auto i = static_cast<std::size_t>(l);
+  if (!indexCache_[i]) indexCache_[i].emplace(rects[i]);
+  return *indexCache_[i];
+}
+
+void FlatLayout::buildIndexes() const {
+  for (std::size_t i = 0; i < tech::kLayerCount; ++i) {
+    if (!indexCache_[i]) indexCache_[i].emplace(rects[i]);
+  }
+}
+
 std::size_t FlatLayout::totalCount() const noexcept {
   std::size_t n = polygons.size();
   for (const auto& v : rects) n += v.size();

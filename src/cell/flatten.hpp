@@ -6,26 +6,50 @@
 #pragma once
 
 #include "cell/cell.hpp"
+#include "geom/rect_index.hpp"
 
 #include <array>
+#include <optional>
 #include <vector>
 
 namespace bb::cell {
 
 /// Flattened artwork: rectangles per layer (paths are decomposed into
 /// rectangles; polygons are kept whole).
+///
+/// Each layer carries a lazily-built `geom::RectIndex` (see `indexOn`) so
+/// the geometric kernels that share one FlatLayout — DRC, extraction,
+/// emission — also share one spatial index per layer instead of
+/// rebuilding (or worse, brute-scanning) per consumer.
 struct FlatLayout {
   std::array<std::vector<geom::Rect>, tech::kLayerCount> rects;
   std::vector<std::pair<tech::Layer, geom::Polygon>> polygons;
 
+  /// Mutable access invalidates the layer's cached index.
   [[nodiscard]] std::vector<geom::Rect>& on(tech::Layer l) noexcept {
-    return rects[static_cast<std::size_t>(l)];
+    const auto i = static_cast<std::size_t>(l);
+    indexCache_[i].reset();
+    return rects[i];
   }
   [[nodiscard]] const std::vector<geom::Rect>& on(tech::Layer l) const noexcept {
     return rects[static_cast<std::size_t>(l)];
   }
+
+  /// Spatial index over `on(l)`, built on first use and cached until the
+  /// layer is next mutated through the non-const `on()`. Lazy building is
+  /// not thread-safe: call `buildIndexes()` first when several threads
+  /// will query the same FlatLayout (queries themselves are const and
+  /// safe to share).
+  [[nodiscard]] const geom::RectIndex& indexOn(tech::Layer l) const;
+
+  /// Prewarm every layer's index (for parallel consumers).
+  void buildIndexes() const;
+
   [[nodiscard]] std::size_t totalCount() const noexcept;
   [[nodiscard]] geom::Rect bbox() const noexcept;
+
+ private:
+  mutable std::array<std::optional<geom::RectIndex>, tech::kLayerCount> indexCache_;
 };
 
 /// Flatten `c` (optionally pre-transformed by `t`).

@@ -1,6 +1,7 @@
 #include "core/batch.hpp"
 
-#include <atomic>
+#include "core/workqueue.hpp"
+
 #include <thread>
 
 namespace bb::core {
@@ -13,35 +14,19 @@ BatchCompiler::BatchCompiler(CompileOptions defaults, unsigned threads)
 std::vector<BatchResult> BatchCompiler::compileAll(std::vector<BatchJob> jobs) const {
   std::vector<BatchResult> results(jobs.size());
 
-  std::atomic<std::size_t> cursor{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
-      BatchJob& job = jobs[i];
-      BatchResult& res = results[i];
-      const auto t0 = std::chrono::steady_clock::now();
-      CompileSession session(std::move(job.source), std::move(job.opts));
-      auto outcome = session.run();
-      res.elapsed = std::chrono::steady_clock::now() - t0;
-      res.diags = outcome.diagnostics();
-      if (outcome) res.chip = std::move(*outcome);
-      res.name = !job.name.empty()        ? std::move(job.name)
-                 : res.chip != nullptr    ? res.chip->desc.name
-                                          : "<job " + std::to_string(i) + ">";
-    }
-  };
-
-  const unsigned n =
-      static_cast<unsigned>(std::min<std::size_t>(threads_, jobs.size()));
-  if (n <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n);
-    for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  runWorkQueue(jobs.size(), threads_, [&](std::size_t i) {
+    BatchJob& job = jobs[i];
+    BatchResult& res = results[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    CompileSession session(std::move(job.source), std::move(job.opts));
+    auto outcome = session.run();
+    res.elapsed = std::chrono::steady_clock::now() - t0;
+    res.diags = outcome.diagnostics();
+    if (outcome) res.chip = std::move(*outcome);
+    res.name = !job.name.empty()        ? std::move(job.name)
+               : res.chip != nullptr    ? res.chip->desc.name
+                                        : "<job " + std::to_string(i) + ">";
+  });
   return results;
 }
 

@@ -36,4 +36,14 @@ std::string CompiledChip::statsText() const {
   return os.str();
 }
 
+const cell::FlatLayout& CompiledChip::flatTop() const {
+  if (!flatTop_) flatTop_ = std::make_unique<cell::FlatLayout>(cell::flatten(*top));
+  return *flatTop_;
+}
+
+const cell::FlatLayout& CompiledChip::flatCore() const {
+  if (!flatCore_) flatCore_ = std::make_unique<cell::FlatLayout>(cell::flatten(*core));
+  return *flatCore_;
+}
+
 }  // namespace bb::core

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include "cell/flatten.hpp"
 #include "cell/library.hpp"
 #include "core/pass2_tapes.hpp"
 #include "core/pla.hpp"
@@ -80,6 +81,23 @@ struct CompiledChip {
   ChipStats stats;
 
   [[nodiscard]] std::string statsText() const;
+
+  /// Flattened artwork of the whole die / of the core, built on first use
+  /// and cached for the chip's lifetime, so finalize's stats, DRC,
+  /// extraction and every emitter share one flatten (and its per-layer
+  /// spatial indexes) instead of re-walking the hierarchy each. Requires
+  /// the corresponding cell pointer to be set (i.e. the passes have run);
+  /// a compiled chip's cells are immutable, so the cache never goes stale.
+  /// Like FlatLayout's lazy indexes, the first (cache-filling) call is
+  /// not thread-safe: call once before sharing the chip across threads
+  /// (finalize fills flatTop; BatchCompiler hands each chip to one
+  /// worker). Subsequent calls are const reads.
+  [[nodiscard]] const cell::FlatLayout& flatTop() const;
+  [[nodiscard]] const cell::FlatLayout& flatCore() const;
+
+ private:
+  mutable std::unique_ptr<cell::FlatLayout> flatTop_;
+  mutable std::unique_ptr<cell::FlatLayout> flatCore_;
 };
 
 }  // namespace bb::core

@@ -1,0 +1,47 @@
+/// \file workqueue.hpp
+/// The batch work-queue, factored out of BatchCompiler so every
+/// embarrassingly-parallel stage shares one scheduler: workers pull job
+/// indices from a shared atomic cursor, so stragglers never serialize
+/// the batch. Used by BatchCompiler (chips) and the DRC rule groups.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace bb::core {
+
+/// Run `fn(i)` for every i in [0, jobs) on up to `threads` workers
+/// (0 = hardware concurrency). Blocks until all jobs finish. `fn` must
+/// be safe to call concurrently for distinct indices; with one worker it
+/// degenerates to a plain loop on the calling thread.
+template <typename Fn>
+void runWorkQueue(std::size_t jobs, unsigned threads, Fn&& fn) {
+  if (jobs == 0) return;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned n = static_cast<unsigned>(
+      std::min<std::size_t>(threads, jobs));
+
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) return;
+      fn(i);
+    }
+  };
+
+  if (n <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace bb::core

@@ -1,6 +1,9 @@
 #include "drc/drc.hpp"
 
+#include "core/workqueue.hpp"
+
 #include <algorithm>
+#include <functional>
 #include <sstream>
 
 namespace bb::drc {
@@ -9,6 +12,7 @@ namespace {
 
 using geom::Coord;
 using geom::Rect;
+using geom::RectIndex;
 using tech::Layer;
 
 /// Gap between two disjoint rectangles (Chebyshev-style: the larger of the
@@ -27,22 +31,167 @@ bool touchesBoundary(const Rect& r, const Rect& boundary) noexcept {
          r.y1 >= boundary.y1;
 }
 
-/// True if `r` is fully covered by the union of `cover`.
-bool coveredBy(const Rect& r, const std::vector<Rect>& cover) {
+/// Reusable per-unit scratch so the hot loops never reallocate.
+struct Scratch {
+  std::vector<int> cand;
+  std::vector<int> bridge;
+  std::vector<Rect> clip;
+};
+
+/// True if `r` is fully covered by the union of layer `l`. Indexed mode
+/// clips only the rects touching `r` (non-touching rects contribute no
+/// area, so the result is exactly the brute scan's).
+bool coveredByLayer(const Rect& r, const cell::FlatLayout& flat, Layer l, bool useIndex,
+                    Scratch& s) {
   if (r.isEmpty()) return true;
-  std::vector<Rect> clipped;
-  for (const Rect& c : cover) {
-    if (auto i = c.intersectWith(r)) clipped.push_back(*i);
+  const auto& layer = flat.on(l);
+  s.clip.clear();
+  if (useIndex) {
+    flat.indexOn(l).queryTouching(r, s.cand);
+    for (const int j : s.cand) {
+      if (auto i = layer[static_cast<std::size_t>(j)].intersectWith(r)) s.clip.push_back(*i);
+    }
+  } else {
+    for (const Rect& c : layer) {
+      if (auto i = c.intersectWith(r)) s.clip.push_back(*i);
+    }
   }
-  return geom::unionArea(std::move(clipped)) == r.area();
+  return geom::unionArea(s.clip) == r.area();
+}
+
+/// True if any rect on layer `l` touches `q`.
+bool anyTouching(const Rect& q, const cell::FlatLayout& flat, Layer l, bool useIndex,
+                 Scratch& s) {
+  if (useIndex) {
+    flat.indexOn(l).queryTouching(q, s.cand);
+    return !s.cand.empty();
+  }
+  for (const Rect& b : flat.on(l)) {
+    if (b.touches(q)) return true;
+  }
+  return false;
+}
+
+/// True if the thin rect `r` (== layer[self]) is fully covered by the
+/// rest of its layer — a sliver inside a larger same-layer region is one
+/// feature, not a violation. The self rect is skipped by index and exact
+/// geometric duplicates by value (a duplicate is the same feature and
+/// must not count as covering itself).
+bool thinRectCovered(std::size_t self, const Rect& r, const cell::FlatLayout& flat, Layer l,
+                     bool useIndex, Scratch& s) {
+  const auto& layer = flat.on(l);
+  s.clip.clear();
+  auto consider = [&](std::size_t j) {
+    if (j == self || layer[j] == r) return;
+    if (auto i = layer[j].intersectWith(r)) s.clip.push_back(*i);
+  };
+  if (useIndex) {
+    flat.indexOn(l).queryTouching(r, s.cand);
+    for (const int j : s.cand) consider(static_cast<std::size_t>(j));
+  } else {
+    s.clip.reserve(layer.size());
+    for (std::size_t j = 0; j < layer.size(); ++j) consider(j);
+  }
+  return geom::unionArea(s.clip) == r.area();
+}
+
+void runWidthRule(const tech::WidthRule& wr, const cell::FlatLayout& flat,
+                  const DrcOptions& opts, std::vector<Violation>& out) {
+  const auto& layer = flat.on(wr.layer);
+  Scratch s;
+  for (std::size_t i = 0; i < layer.size(); ++i) {
+    const Rect& r = layer[i];
+    const Coord w = std::min(r.width(), r.height());
+    if (w >= wr.min) continue;
+    if (!thinRectCovered(i, r, flat, wr.layer, opts.useSpatialIndex, s)) {
+      out.push_back({wr.name, wr.layer, wr.layer, r,
+                     "feature " + std::to_string(w) + " < min width " +
+                         std::to_string(wr.min)});
+    }
+  }
+}
+
+void runSpacingRule(const tech::SpacingRule& sr, const cell::FlatLayout& flat,
+                    const geom::Rect& boundary, const DrcOptions& opts,
+                    std::vector<Violation>& out) {
+  if (sr.min <= 0) return;  // gap >= 0 can never violate
+  const auto& as = flat.on(sr.a);
+  const auto& bs = flat.on(sr.b);
+  const bool same = sr.a == sr.b;
+  const RectIndex* idxB = opts.useSpatialIndex ? &flat.indexOn(sr.b) : nullptr;
+  Scratch s;
+
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    const Rect& ra = as[i];
+
+    auto checkPair = [&](std::size_t j) {
+      const Rect& rb = bs[j];
+      if (ra.touches(rb)) return;  // same feature / intentional crossing
+      const Coord gap = gapBetween(ra, rb);
+      if (gap >= sr.min) return;
+      if (same) {
+        // Two disjoint pieces bridged by other material on the layer are
+        // one feature: skip if some rect touches both.
+        bool bridged = false;
+        if (idxB) {
+          idxB->queryTouching(ra, s.bridge);
+          for (const int k : s.bridge) {
+            const Rect& o = as[static_cast<std::size_t>(k)];
+            if (o == ra || o == rb) continue;
+            if (o.touches(rb)) {  // o.touches(ra) held by the query
+              bridged = true;
+              break;
+            }
+          }
+        } else {
+          for (const Rect& o : as) {
+            if (o == ra || o == rb) continue;
+            if (o.touches(ra) && o.touches(rb)) {
+              bridged = true;
+              break;
+            }
+          }
+        }
+        if (bridged) return;
+      }
+      if (opts.boundaryConditions && touchesBoundary(ra, boundary) &&
+          touchesBoundary(rb, boundary)) {
+        return;  // interface wiring; contract guarantees the far side
+      }
+      out.push_back({sr.name, sr.a, sr.b, ra.unionWith(rb),
+                     "gap " + std::to_string(gap) + " < " + std::to_string(sr.min)});
+    };
+
+    if (idxB) {
+      // Everything violating has gap <= min-1 — exactly the index's
+      // Chebyshev margin query. Candidates come back ascending, so the
+      // violation order matches the reference j-loop.
+      idxB->queryWithin(ra, sr.min - 1, s.cand);
+      for (const int j : s.cand) {
+        if (same && j <= static_cast<int>(i)) continue;
+        checkPair(static_cast<std::size_t>(j));
+      }
+    } else {
+      for (std::size_t j = same ? i + 1 : 0; j < bs.size(); ++j) checkPair(j);
+    }
+  }
 }
 
 /// All poly-over-diffusion intersection regions (candidate gates).
-std::vector<Rect> gateRegions(const cell::FlatLayout& flat) {
+std::vector<Rect> gateRegions(const cell::FlatLayout& flat, bool useIndex) {
   std::vector<Rect> gates;
+  const auto& diffs = flat.on(Layer::Diffusion);
+  const RectIndex* idx = useIndex ? &flat.indexOn(Layer::Diffusion) : nullptr;
+  std::vector<int> cand;
   for (const Rect& p : flat.on(Layer::Poly)) {
-    for (const Rect& d : flat.on(Layer::Diffusion)) {
+    auto consider = [&](const Rect& d) {
       if (auto g = p.intersectWith(d)) gates.push_back(*g);
+    };
+    if (idx) {
+      idx->queryTouching(p, cand);
+      for (const int di : cand) consider(diffs[static_cast<std::size_t>(di)]);
+    } else {
+      for (const Rect& d : diffs) consider(d);
     }
   }
   // Merge duplicates (several poly rects over one diff produce overlaps).
@@ -51,6 +200,59 @@ std::vector<Rect> gateRegions(const cell::FlatLayout& flat) {
   });
   gates.erase(std::unique(gates.begin(), gates.end()), gates.end());
   return gates;
+}
+
+void runTransistorChecks(const cell::FlatLayout& flat, const tech::RuleDeck& deck,
+                         const DrcOptions& opts, std::vector<Violation>& out) {
+  const auto& comp = deck.composite;
+  const bool useIdx = opts.useSpatialIndex;
+  Scratch s;
+  for (const Rect& g : gateRegions(flat, useIdx)) {
+    // Poly must extend past the gate in its run direction, diffusion in
+    // the orthogonal one; accept either orientation.
+    const Rect extX{g.x0 - comp.polyGateExtension, g.y0, g.x1 + comp.polyGateExtension, g.y1};
+    const Rect extY{g.x0, g.y0 - comp.polyGateExtension, g.x1, g.y1 + comp.polyGateExtension};
+    const Rect dExtX{g.x0 - comp.diffGateExtension, g.y0, g.x1 + comp.diffGateExtension, g.y1};
+    const Rect dExtY{g.x0, g.y0 - comp.diffGateExtension, g.x1, g.y1 + comp.diffGateExtension};
+    const bool polyX = coveredByLayer(extX, flat, Layer::Poly, useIdx, s);
+    const bool polyY = coveredByLayer(extY, flat, Layer::Poly, useIdx, s);
+    const bool diffX = coveredByLayer(dExtX, flat, Layer::Diffusion, useIdx, s);
+    const bool diffY = coveredByLayer(dExtY, flat, Layer::Diffusion, useIdx, s);
+    const bool ok = (polyX && diffY) || (polyY && diffX);
+    if (!ok) {
+      // Buried contacts intentionally join poly and diffusion; their
+      // overlap is not a transistor.
+      if (!anyTouching(g, flat, Layer::Buried, useIdx, s)) {
+        out.push_back({"T.gate.ext", Layer::Poly, Layer::Diffusion, g,
+                       "gate lacks 2-lambda poly/diff extensions"});
+      }
+    }
+  }
+}
+
+void runContactChecks(const cell::FlatLayout& flat, const tech::RuleDeck& deck,
+                      const DrcOptions& opts, std::vector<Violation>& out) {
+  const auto& comp = deck.composite;
+  const bool useIdx = opts.useSpatialIndex;
+  Scratch s;
+  for (const Rect& cut : flat.on(Layer::Contact)) {
+    const Rect need = cut.expanded(comp.contactSurround);
+    const bool metalOk = coveredByLayer(need, flat, Layer::Metal, useIdx, s);
+    const bool polyOk = coveredByLayer(need, flat, Layer::Poly, useIdx, s);
+    const bool diffOk = coveredByLayer(need, flat, Layer::Diffusion, useIdx, s);
+    if (!(metalOk && (polyOk || diffOk))) {
+      out.push_back({"C.surround.1", Layer::Contact, Layer::Metal, cut,
+                     "cut not surrounded by metal and poly-or-diff"});
+    }
+  }
+  for (const Rect& b : flat.on(Layer::Buried)) {
+    const bool polyOk = coveredByLayer(b, flat, Layer::Poly, useIdx, s);
+    const bool diffOk = coveredByLayer(b, flat, Layer::Diffusion, useIdx, s);
+    if (!(polyOk && diffOk)) {
+      out.push_back({"C.buried", Layer::Buried, Layer::Poly, b,
+                     "buried contact not covered by poly and diffusion"});
+    }
+  }
 }
 
 }  // namespace
@@ -71,123 +273,47 @@ DrcReport checkFlat(const cell::FlatLayout& flat, const geom::Rect& boundary,
   DrcReport rep;
   rep.shapesChecked = flat.totalCount();
 
-  // --- width rules ----------------------------------------------------
-  // Generators emit every feature at legal width directly (wires carry
-  // their full width; rails are single rects), so the per-rect check is
-  // exact for compiler output and still catches genuinely thin features.
+  // One independent unit per width rule and per spacing rule, plus the
+  // transistor and contact groups. Units share only the (const) flat
+  // layout and its prebuilt indexes, so they parallelize freely; results
+  // are concatenated in unit order, keeping violations in deck order no
+  // matter how many workers run.
+  std::vector<std::function<void(std::vector<Violation>&)>> units;
+  units.reserve(deck.widths.size() + deck.spacings.size() + 2);
   for (const tech::WidthRule& wr : deck.widths) {
-    for (const Rect& r : flat.on(wr.layer)) {
-      const Coord w = std::min(r.width(), r.height());
-      if (w < wr.min) {
-        // A thin rect fully inside a larger same-layer region is not a
-        // violation (e.g. the contact-surround pad overlapping a rail).
-        std::vector<Rect> others;
-        for (const Rect& o : flat.on(wr.layer)) {
-          if (o == r) continue;
-          others.push_back(o);
-        }
-        if (!coveredBy(r, others)) {
-          rep.violations.push_back({wr.name, wr.layer, wr.layer, r,
-                                    "feature " + std::to_string(w) + " < min width " +
-                                        std::to_string(wr.min)});
-        }
-      }
-    }
+    units.emplace_back([&flat, &opts, &wr](std::vector<Violation>& out) {
+      runWidthRule(wr, flat, opts, out);
+    });
   }
-
-  // --- spacing rules ----------------------------------------------------
   for (const tech::SpacingRule& sr : deck.spacings) {
-    const auto& as = flat.on(sr.a);
-    const auto& bs = flat.on(sr.b);
-    const bool same = sr.a == sr.b;
-    for (std::size_t i = 0; i < as.size(); ++i) {
-      for (std::size_t j = same ? i + 1 : 0; j < bs.size(); ++j) {
-        const Rect& ra = as[i];
-        const Rect& rb = bs[j];
-        if (ra.touches(rb)) continue;  // same feature / intentional crossing
-        const Coord gap = gapBetween(ra, rb);
-        if (gap >= sr.min) continue;
-        if (same) {
-          // Two disjoint pieces bridged by other material on the layer are
-          // one feature: skip if some rect touches both.
-          bool bridged = false;
-          for (const Rect& o : as) {
-            if (o == ra || o == rb) continue;
-            if (o.touches(ra) && o.touches(rb)) {
-              // Only a true bridge joins them; a rect that merely spans the
-              // gap region is enough for the lithography.
-              bridged = true;
-              break;
-            }
-          }
-          if (bridged) continue;
-        }
-        if (opts.boundaryConditions && touchesBoundary(ra, boundary) &&
-            touchesBoundary(rb, boundary)) {
-          continue;  // interface wiring; contract guarantees the far side
-        }
-        rep.violations.push_back({sr.name, sr.a, sr.b, ra.unionWith(rb),
-                                  "gap " + std::to_string(gap) + " < " + std::to_string(sr.min)});
-      }
-    }
+    units.emplace_back([&flat, &boundary, &opts, &sr](std::vector<Violation>& out) {
+      runSpacingRule(sr, flat, boundary, opts, out);
+    });
   }
-
-  // --- transistor construction ------------------------------------------
   if (opts.checkTransistors) {
-    const auto& comp = deck.composite;
-    for (const Rect& g : gateRegions(flat)) {
-      // Poly must extend past the gate in its run direction, diffusion in
-      // the orthogonal one; accept either orientation.
-      const Rect extX{g.x0 - comp.polyGateExtension, g.y0, g.x1 + comp.polyGateExtension, g.y1};
-      const Rect extY{g.x0, g.y0 - comp.polyGateExtension, g.x1, g.y1 + comp.polyGateExtension};
-      const Rect dExtX{g.x0 - comp.diffGateExtension, g.y0, g.x1 + comp.diffGateExtension, g.y1};
-      const Rect dExtY{g.x0, g.y0 - comp.diffGateExtension, g.x1, g.y1 + comp.diffGateExtension};
-      const bool polyX = coveredBy(extX, flat.on(Layer::Poly));
-      const bool polyY = coveredBy(extY, flat.on(Layer::Poly));
-      const bool diffX = coveredBy(dExtX, flat.on(Layer::Diffusion));
-      const bool diffY = coveredBy(dExtY, flat.on(Layer::Diffusion));
-      const bool ok = (polyX && diffY) || (polyY && diffX);
-      if (!ok) {
-        // Buried contacts intentionally join poly and diffusion; their
-        // overlap is not a transistor.
-        bool buried = false;
-        for (const Rect& b : flat.on(Layer::Buried)) {
-          if (b.touches(g)) {
-            buried = true;
-            break;
-          }
-        }
-        if (!buried) {
-          rep.violations.push_back({"T.gate.ext", Layer::Poly, Layer::Diffusion, g,
-                                    "gate lacks 2-lambda poly/diff extensions"});
-        }
-      }
-    }
+    units.emplace_back([&flat, &deck, &opts](std::vector<Violation>& out) {
+      runTransistorChecks(flat, deck, opts, out);
+    });
   }
-
-  // --- contact construction ----------------------------------------------
   if (opts.checkContacts) {
-    const auto& comp = deck.composite;
-    for (const Rect& cut : flat.on(Layer::Contact)) {
-      const Rect need = cut.expanded(comp.contactSurround);
-      const bool metalOk = coveredBy(need, flat.on(Layer::Metal));
-      const bool polyOk = coveredBy(need, flat.on(Layer::Poly));
-      const bool diffOk = coveredBy(need, flat.on(Layer::Diffusion));
-      if (!(metalOk && (polyOk || diffOk))) {
-        rep.violations.push_back({"C.surround.1", Layer::Contact, Layer::Metal, cut,
-                                  "cut not surrounded by metal and poly-or-diff"});
-      }
-    }
-    for (const Rect& b : flat.on(Layer::Buried)) {
-      const bool polyOk = coveredBy(b, flat.on(Layer::Poly));
-      const bool diffOk = coveredBy(b, flat.on(Layer::Diffusion));
-      if (!(polyOk && diffOk)) {
-        rep.violations.push_back({"C.buried", Layer::Buried, Layer::Poly, b,
-                                  "buried contact not covered by poly and diffusion"});
-      }
-    }
+    units.emplace_back([&flat, &deck, &opts](std::vector<Violation>& out) {
+      runContactChecks(flat, deck, opts, out);
+    });
   }
 
+  std::vector<std::vector<Violation>> found(units.size());
+  if (opts.threads != 1 && units.size() > 1) {
+    // Lazy index building is not thread-safe; prewarm before fanning out.
+    if (opts.useSpatialIndex) flat.buildIndexes();
+    core::runWorkQueue(units.size(), opts.threads,
+                       [&](std::size_t i) { units[i](found[i]); });
+  } else {
+    for (std::size_t i = 0; i < units.size(); ++i) units[i](found[i]);
+  }
+  for (std::vector<Violation>& v : found) {
+    rep.violations.insert(rep.violations.end(), std::make_move_iterator(v.begin()),
+                          std::make_move_iterator(v.end()));
+  }
   return rep;
 }
 

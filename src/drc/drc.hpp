@@ -37,6 +37,16 @@ struct DrcOptions {
   bool checkTransistors = true;
   /// Check contact construction (cut covered by both connected layers).
   bool checkContacts = true;
+  /// Route geometric queries through the FlatLayout's per-layer spatial
+  /// indexes: near-linear in the rect count instead of quadratic, with
+  /// bit-identical violations. Off runs the reference all-pairs scans,
+  /// kept for the equivalence tests and the scaling benches.
+  bool useSpatialIndex = true;
+  /// Worker threads for the independent rule groups (each width rule,
+  /// each spacing rule, the transistor and contact groups), scheduled on
+  /// the batch work-queue. 1 = serial, 0 = hardware concurrency.
+  /// Violations keep deck order regardless of thread count.
+  unsigned threads = 1;
 };
 
 struct DrcReport {

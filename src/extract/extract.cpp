@@ -1,8 +1,11 @@
 #include "extract/extract.hpp"
 
+#include "geom/rect_index.hpp"
+
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <optional>
 
 namespace bb::extract {
 
@@ -10,6 +13,7 @@ namespace {
 
 using geom::Coord;
 using geom::Rect;
+using geom::RectIndex;
 using tech::Layer;
 
 /// Disjoint-set over an arbitrary number of conductor pieces.
@@ -42,47 +46,47 @@ struct Piece {
   Rect r;
 };
 
-/// Uniform-grid spatial index over pieces: makes connectivity extraction
-/// near-linear instead of quadratic in the piece count (chip-scale cores
-/// have tens of thousands of pieces).
-class GridIndex {
+/// Candidate source abstracting indexed vs reference iteration: visits
+/// the indices of every rect in `rects` touching `q`, ascending — the
+/// same order either way, which keeps extraction (source/drain pick
+/// order, first-piece-wins label resolution) bit-identical across modes.
+class TouchSource {
  public:
-  GridIndex(const std::vector<Piece>& pieces, Coord cellSize)
-      : pieces_(pieces), cs_(cellSize) {
-    for (std::size_t i = 0; i < pieces.size(); ++i) {
-      visitCells(pieces[i].r, [&](long long key) { grid_[key].push_back(static_cast<int>(i)); });
+  /// Own an index over a derived rect set (gate regions, net pieces).
+  TouchSource(const std::vector<Rect>& rects, bool useIndex) : rects_(rects) {
+    if (useIndex) {
+      owned_.emplace(rects);
+      index_ = &*owned_;
     }
   }
+  /// Borrow a prebuilt index (a FlatLayout's cached per-layer index);
+  /// null runs the reference scan.
+  TouchSource(const std::vector<Rect>& rects, const RectIndex* borrowed)
+      : rects_(rects), index_(borrowed) {}
 
-  /// Visit the indices of pieces whose rect may touch `r` (may repeat).
   template <typename F>
-  void forCandidates(const Rect& r, F&& f) const {
-    visitCells(r, [&](long long key) {
-      auto it = grid_.find(key);
-      if (it == grid_.end()) return;
-      for (int i : it->second) f(i);
-    });
-  }
-
- private:
-  template <typename F>
-  void visitCells(const Rect& r, F&& f) const {
-    const Coord gx0 = floorDiv(r.x0), gx1 = floorDiv(r.x1);
-    const Coord gy0 = floorDiv(r.y0), gy1 = floorDiv(r.y1);
-    for (Coord gx = gx0; gx <= gx1; ++gx) {
-      for (Coord gy = gy0; gy <= gy1; ++gy) {
-        f((gx << 24) ^ (gy & 0xffffff));
+  void forTouching(const Rect& q, F&& f) const {
+    if (index_) {
+      index_->queryTouching(q, scratch_);
+      for (const int i : scratch_) f(i);
+    } else {
+      for (std::size_t i = 0; i < rects_.size(); ++i) {
+        if (rects_[i].touches(q)) f(static_cast<int>(i));
       }
     }
   }
-  Coord floorDiv(Coord v) const {
-    return v >= 0 ? v / cs_ : -((-v + cs_ - 1) / cs_);
-  }
 
-  const std::vector<Piece>& pieces_;
-  Coord cs_;
-  std::map<long long, std::vector<int>> grid_;
+ private:
+  const std::vector<Rect>& rects_;
+  std::optional<RectIndex> owned_;
+  const RectIndex* index_ = nullptr;
+  mutable std::vector<int> scratch_;
 };
+
+/// Source over a layout layer, reusing the FlatLayout's cached index.
+TouchSource layerSource(const cell::FlatLayout& flat, Layer l, bool useIndex) {
+  return {flat.on(l), useIndex ? &flat.indexOn(l) : nullptr};
+}
 
 }  // namespace
 
@@ -90,6 +94,7 @@ std::vector<Rect> subtractRects(const Rect& base, const std::vector<Rect>& holes
   std::vector<Rect> live{base};
   for (const Rect& h : holes) {
     std::vector<Rect> next;
+    next.reserve(live.size());
     for (const Rect& r : live) {
       auto cut = r.intersectWith(h);
       if (!cut) {
@@ -108,8 +113,10 @@ std::vector<Rect> subtractRects(const Rect& base, const std::vector<Rect>& holes
   return live;
 }
 
-ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLabel>& labels) {
+ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLabel>& labels,
+                          const ExtractOptions& opts) {
   ExtractResult res;
+  const bool useIdx = opts.useSpatialIndex;
 
   // --- 1. gates: poly over diffusion, not under a buried contact --------
   struct GateRegion {
@@ -117,35 +124,25 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
     bool depletion = false;
   };
   std::vector<GateRegion> gates;
-  std::vector<Piece> diffPieces;
-  for (const Rect& d : flat.on(Layer::Diffusion)) diffPieces.push_back({Layer::Diffusion, d});
-  const GridIndex diffIndex(diffPieces, geom::lambda(64));
+  const TouchSource diffSource = layerSource(flat, Layer::Diffusion, useIdx);
+  const TouchSource buriedSource = layerSource(flat, Layer::Buried, useIdx);
+  const TouchSource implantSource = layerSource(flat, Layer::Implant, useIdx);
   for (const Rect& p : flat.on(Layer::Poly)) {
-    std::vector<int> cand;
-    diffIndex.forCandidates(p, [&](int i) { cand.push_back(i); });
-    std::sort(cand.begin(), cand.end());
-    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
-    for (int di : cand) {
-      const Rect& d = diffPieces[static_cast<std::size_t>(di)].r;
+    diffSource.forTouching(p, [&](int di) {
+      const Rect& d = flat.on(Layer::Diffusion)[static_cast<std::size_t>(di)];
       auto g = p.intersectWith(d);
-      if (!g) continue;
+      if (!g) return;
       bool buried = false;
-      for (const Rect& b : flat.on(Layer::Buried)) {
-        if (b.touches(*g)) {
-          buried = true;
-          break;
-        }
-      }
-      if (buried) continue;
+      buriedSource.forTouching(*g, [&](int) { buried = true; });
+      if (buried) return;
       GateRegion gr{*g, false};
-      for (const Rect& im : flat.on(Layer::Implant)) {
-        if (im.contains(gr.r)) {
+      implantSource.forTouching(gr.r, [&](int ii) {
+        if (flat.on(Layer::Implant)[static_cast<std::size_t>(ii)].contains(gr.r)) {
           gr.depletion = true;
-          break;
         }
-      }
+      });
       gates.push_back(gr);
-    }
+    });
   }
   // Dedup identical gate regions (overlapping source rects).
   std::sort(gates.begin(), gates.end(), [](const GateRegion& a, const GateRegion& b) {
@@ -156,17 +153,17 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
               gates.end());
 
   // --- 2. fracture diffusion at gates ------------------------------------
-  std::vector<Piece> gatePieces;
-  gatePieces.reserve(gates.size());
-  for (const GateRegion& g : gates) gatePieces.push_back({Layer::Poly, g.r});
-  const GridIndex gateIndex(gatePieces, geom::lambda(64));
+  std::vector<Rect> gateRects;
+  gateRects.reserve(gates.size());
+  for (const GateRegion& g : gates) gateRects.push_back(g.r);
+  const TouchSource gateSource(gateRects, useIdx);
 
   std::vector<Piece> pieces;
   std::vector<Rect> holes;
   for (const Rect& d : flat.on(Layer::Diffusion)) {
     holes.clear();
-    gateIndex.forCandidates(d, [&](int i) {
-      const Rect& g = gatePieces[static_cast<std::size_t>(i)].r;
+    gateSource.forTouching(d, [&](int i) {
+      const Rect& g = gateRects[static_cast<std::size_t>(i)];
       if (g.overlaps(d)) holes.push_back(g);
     });
     std::sort(holes.begin(), holes.end(), [](const Rect& a, const Rect& b) {
@@ -181,22 +178,23 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
   for (const Rect& m : flat.on(Layer::Metal)) pieces.push_back({Layer::Metal, m});
 
   // --- 3. connectivity ----------------------------------------------------
+  std::vector<Rect> pieceRects;
+  pieceRects.reserve(pieces.size());
+  for (const Piece& p : pieces) pieceRects.push_back(p.r);
+  const TouchSource pieceSource(pieceRects, useIdx);
+
   UnionFind uf(pieces.size());
-  const GridIndex index(pieces, geom::lambda(64));
   for (std::size_t i = 0; i < pieces.size(); ++i) {
-    index.forCandidates(pieces[i].r, [&](int j) {
+    pieceSource.forTouching(pieces[i].r, [&](int j) {
       if (j <= static_cast<int>(i)) return;
       if (pieces[static_cast<std::size_t>(j)].layer != pieces[i].layer) return;
-      if (pieces[i].r.touches(pieces[static_cast<std::size_t>(j)].r)) {
-        uf.unite(static_cast<int>(i), j);
-      }
+      uf.unite(static_cast<int>(i), j);
     });
   }
   auto connectAcross = [&](const Rect& via, Layer a, Layer b) {
     int firstA = -1, firstB = -1;
-    index.forCandidates(via, [&](int i) {
+    pieceSource.forTouching(via, [&](int i) {
       const Piece& p = pieces[static_cast<std::size_t>(i)];
-      if (!p.r.touches(via)) return;
       if (p.layer == a) {
         if (firstA < 0) firstA = i;
         else uf.unite(i, firstA);
@@ -211,9 +209,8 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
   for (const Rect& cut : flat.on(Layer::Contact)) {
     // A cut connects metal to whichever of poly/diff lies under it.
     bool hasPoly = false, hasDiff = false;
-    index.forCandidates(cut, [&](int i) {
+    pieceSource.forTouching(cut, [&](int i) {
       const Piece& p = pieces[static_cast<std::size_t>(i)];
-      if (!p.r.touches(cut)) return;
       hasPoly |= p.layer == Layer::Poly;
       hasDiff |= p.layer == Layer::Diffusion;
     });
@@ -238,7 +235,7 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
   // Labels first, so named nets get their bristle names.
   for (const NetLabel& lbl : labels) {
     bool done = false;
-    index.forCandidates(Rect{lbl.at.x, lbl.at.y, lbl.at.x, lbl.at.y}, [&](int i) {
+    pieceSource.forTouching(Rect{lbl.at.x, lbl.at.y, lbl.at.x, lbl.at.y}, [&](int i) {
       if (done) return;
       if (pieces[static_cast<std::size_t>(i)].layer == lbl.layer &&
           pieces[static_cast<std::size_t>(i)].r.contains(lbl.at)) {
@@ -252,7 +249,7 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
   for (const GateRegion& g : gates) {
     // Gate net: poly piece overlapping the gate region.
     int gateNet = -1;
-    index.forCandidates(g.r, [&](int i) {
+    pieceSource.forTouching(g.r, [&](int i) {
       if (gateNet >= 0) return;
       if (pieces[static_cast<std::size_t>(i)].layer == Layer::Poly &&
           pieces[static_cast<std::size_t>(i)].r.overlaps(g.r)) {
@@ -261,13 +258,11 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
     });
     // Source/drain: diffusion fragments touching the gate region.
     std::vector<int> sd;
-    index.forCandidates(g.r, [&](int i) {
+    pieceSource.forTouching(g.r, [&](int i) {
       const Piece& p = pieces[static_cast<std::size_t>(i)];
       if (p.layer != Layer::Diffusion) return;
-      if (p.r.touches(g.r)) {
-        const int net = netOfPiece(i);
-        if (std::find(sd.begin(), sd.end(), net) == sd.end()) sd.push_back(net);
-      }
+      const int net = netOfPiece(i);
+      if (std::find(sd.begin(), sd.end(), net) == sd.end()) sd.push_back(net);
     });
     netlist::Transistor t;
     t.kind = g.depletion ? netlist::TransKind::Depletion : netlist::TransKind::Enhancement;
@@ -277,9 +272,9 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
     // the two diffusion fragments); infer from fragment adjacency:
     // fragments to the left/right -> length = g width in x, width = y.
     bool horizontalFlow = false;
-    index.forCandidates(g.r, [&](int i) {
+    pieceSource.forTouching(g.r, [&](int i) {
       const Piece& p = pieces[static_cast<std::size_t>(i)];
-      if (p.layer != Layer::Diffusion || !p.r.touches(g.r)) return;
+      if (p.layer != Layer::Diffusion) return;
       if (p.r.x1 <= g.r.x0 || p.r.x0 >= g.r.x1) horizontalFlow = true;
     });
     if (horizontalFlow) {
@@ -308,14 +303,18 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
   return res;
 }
 
-ExtractResult extractCell(const cell::Cell& c, const ExtractOptions& opts) {
+std::vector<NetLabel> labelsOf(const cell::Cell& c) {
   std::vector<NetLabel> labels;
-  if (opts.labelFromBristles) {
-    for (const cell::Bristle& b : c.bristles()) {
-      labels.push_back(NetLabel{b.net.empty() ? b.name : b.net, b.layer, b.pos});
-    }
+  labels.reserve(c.bristles().size());
+  for (const cell::Bristle& b : c.bristles()) {
+    labels.push_back(NetLabel{b.net.empty() ? b.name : b.net, b.layer, b.pos});
   }
-  return extractFlat(cell::flatten(c), labels);
+  return labels;
+}
+
+ExtractResult extractCell(const cell::Cell& c, const ExtractOptions& opts) {
+  return extractFlat(cell::flatten(c),
+                     opts.labelFromBristles ? labelsOf(c) : std::vector<NetLabel>{}, opts);
 }
 
 }  // namespace bb::extract

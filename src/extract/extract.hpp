@@ -33,6 +33,10 @@ struct NetLabel {
 struct ExtractOptions {
   /// Use cell bristles as net labels.
   bool labelFromBristles = true;
+  /// Route the piece-touching / via / contact merging through spatial
+  /// indexes (near-linear, identical netlists). Off runs the reference
+  /// all-pairs scans, kept for the equivalence tests and scaling benches.
+  bool useSpatialIndex = true;
 };
 
 struct ExtractResult {
@@ -46,9 +50,15 @@ struct ExtractResult {
 /// Extract a cell (flattens hierarchy, labels nets from its bristles).
 [[nodiscard]] ExtractResult extractCell(const cell::Cell& c, const ExtractOptions& opts = {});
 
+/// Net labels a cell's bristles seed (what `extractCell` uses); exposed
+/// so callers holding a cached FlatLayout can call `extractFlat` without
+/// re-flattening.
+[[nodiscard]] std::vector<NetLabel> labelsOf(const cell::Cell& c);
+
 /// Extract pre-flattened artwork with explicit labels.
 [[nodiscard]] ExtractResult extractFlat(const cell::FlatLayout& flat,
-                                        const std::vector<NetLabel>& labels);
+                                        const std::vector<NetLabel>& labels,
+                                        const ExtractOptions& opts = {});
 
 /// Rectangle difference: `base` minus all `holes`, as a rect decomposition.
 /// Exposed for tests; extraction uses it to fracture diffusion at gates.

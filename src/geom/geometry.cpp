@@ -2,20 +2,10 @@
 
 #include <cassert>
 #include <cstdlib>
-#include <numeric>
 
 namespace bb::geom {
 
-Rect Rect::expanded(Coord m) const noexcept {
-  Rect r;
-  r.x0 = x0 - m;
-  r.y0 = y0 - m;
-  r.x1 = x1 + m;
-  r.y1 = y1 + m;
-  if (r.x0 > r.x1) r.x0 = r.x1 = (x0 + x1) / 2;
-  if (r.y0 > r.y1) r.y0 = r.y1 = (y0 + y1) / 2;
-  return r;
-}
+Rect Rect::expanded(Coord m) const noexcept { return expandedXY(m, m); }
 
 Rect Rect::unionWith(const Rect& o) const noexcept {
   if (isEmpty()) return o;
@@ -120,6 +110,7 @@ Coord Path::length() const noexcept {
 
 std::vector<Rect> Path::toRects() const {
   std::vector<Rect> out;
+  out.reserve(pts.size() <= 1 ? pts.size() : pts.size() - 1);
   const Coord h = width / 2;
   if (pts.size() == 1) {
     out.push_back(Rect::fromCenter(pts[0], width, width));
@@ -152,64 +143,35 @@ Path Path::translated(Point d) const {
 }
 
 Rect bboxOf(const std::vector<Rect>& rs) noexcept {
-  Rect acc;
-  bool first = true;
+  if (rs.empty()) return {};
+  // Direct min/max accumulation: no per-rect isEmpty branches, and a
+  // single pass the compiler can vectorize (this runs per index build).
+  Rect acc = rs[0];
   for (const Rect& r : rs) {
-    if (first) {
-      acc = r;
-      first = false;
-    } else {
-      acc = acc.unionWith(r);
-    }
+    acc.x0 = std::min(acc.x0, r.x0);
+    acc.y0 = std::min(acc.y0, r.y0);
+    acc.x1 = std::max(acc.x1, r.x1);
+    acc.y1 = std::max(acc.y1, r.y1);
   }
   return acc;
 }
 
-RectComponents connectedComponents(const std::vector<Rect>& rs) {
-  const std::size_t n = rs.size();
-  std::vector<int> parent(n);
-  std::iota(parent.begin(), parent.end(), 0);
-  auto find = [&](int a) {
-    while (parent[static_cast<std::size_t>(a)] != a) {
-      parent[static_cast<std::size_t>(a)] =
-          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(a)])];
-      a = parent[static_cast<std::size_t>(a)];
-    }
-    return a;
-  };
-  auto unite = [&](int a, int b) {
-    a = find(a);
-    b = find(b);
-    if (a != b) parent[static_cast<std::size_t>(a)] = b;
-  };
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (rs[i].touches(rs[j])) unite(static_cast<int>(i), static_cast<int>(j));
-    }
-  }
-  RectComponents rc;
-  rc.componentOf.assign(n, -1);
-  for (std::size_t i = 0; i < n; ++i) {
-    const int root = find(static_cast<int>(i));
-    if (rc.componentOf[static_cast<std::size_t>(root)] < 0) {
-      rc.componentOf[static_cast<std::size_t>(root)] = rc.count++;
-    }
-    rc.componentOf[i] = rc.componentOf[static_cast<std::size_t>(root)];
-  }
-  return rc;
-}
+// connectedComponents lives in rect_index.cpp (it routes through the
+// spatial index; the brute reference implementation sits beside it).
 
-Coord unionArea(std::vector<Rect> rs) {
+Coord unionArea(const std::vector<Rect>& rs) {
   // Coordinate-compression sweep over x slabs; within a slab, merge y
   // intervals. Exact and simple; cells hold at most a few thousand rects.
-  std::erase_if(rs, [](const Rect& r) { return r.isEmpty(); });
-  if (rs.empty()) return 0;
+  // Empty rects are skipped in place rather than erased, so the input
+  // stays untouched (DRC reuses one scratch vector across calls).
   std::vector<Coord> xs;
   xs.reserve(rs.size() * 2);
   for (const Rect& r : rs) {
+    if (r.isEmpty()) continue;
     xs.push_back(r.x0);
     xs.push_back(r.x1);
   }
+  if (xs.empty()) return 0;
   std::sort(xs.begin(), xs.end());
   xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
 
@@ -219,6 +181,7 @@ Coord unionArea(std::vector<Rect> rs) {
     const Coord xb = xs[i + 1];
     std::vector<std::pair<Coord, Coord>> spans;
     for (const Rect& r : rs) {
+      if (r.isEmpty()) continue;
       if (r.x0 <= xa && r.x1 >= xb) spans.emplace_back(r.y0, r.y1);
     }
     std::sort(spans.begin(), spans.end());

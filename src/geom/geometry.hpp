@@ -98,6 +98,20 @@ struct Rect {
   }
   /// Grow by `m` on every side (negative shrinks; may produce empty).
   [[nodiscard]] Rect expanded(Coord m) const noexcept;
+  /// Grow by `dx` horizontally and `dy` vertically (negative shrinks;
+  /// an over-shrunk axis collapses to its midline). The margin-query
+  /// primitive of the spatial index: `a.gap(b) <= m` is exactly
+  /// `a.touches(b.expandedXY(m, m))`.
+  [[nodiscard]] constexpr Rect expandedXY(Coord dx, Coord dy) const noexcept {
+    Rect r;
+    r.x0 = x0 - dx;
+    r.y0 = y0 - dy;
+    r.x1 = x1 + dx;
+    r.y1 = y1 + dy;
+    if (r.x0 > r.x1) r.x0 = r.x1 = (x0 + x1) / 2;
+    if (r.y0 > r.y1) r.y0 = r.y1 = (y0 + y1) / 2;
+    return r;
+  }
 
   /// Smallest rectangle covering both (treats empty as identity).
   [[nodiscard]] Rect unionWith(const Rect& o) const noexcept;
@@ -141,6 +155,8 @@ struct Path {
 /// Merge touching/overlapping rectangles into maximal disjoint regions
 /// ("connected components" under `touches`). Returns one representative
 /// bbox per component plus component membership. Used by extraction.
+/// Near-linear via a RectIndex (see rect_index.hpp, which also declares
+/// the reference `connectedComponentsBrute` the equivalence tests use).
 struct RectComponents {
   std::vector<int> componentOf;   ///< component index per input rect
   int count = 0;                  ///< number of components
@@ -148,8 +164,10 @@ struct RectComponents {
 [[nodiscard]] RectComponents connectedComponents(const std::vector<Rect>& rs);
 
 /// Exact area of the union of rectangles (sweep-line; O(n^2 log n) worst
-/// case, fine for per-cell work). Used for utilization metrics.
-[[nodiscard]] Coord unionArea(std::vector<Rect> rs);
+/// case, fine for per-cell work). Used for utilization metrics and the
+/// DRC coverage checks. Non-destructive: callers can reuse their vector
+/// (and its capacity) across calls.
+[[nodiscard]] Coord unionArea(const std::vector<Rect>& rs);
 
 [[nodiscard]] std::string toString(Point p);
 [[nodiscard]] std::string toString(const Rect& r);

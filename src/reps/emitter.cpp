@@ -65,14 +65,15 @@ void emitSvg(const core::CompiledChip& chip, std::ostream& os) {
 }
 
 void emitSpice(const core::CompiledChip& chip, std::ostream& os) {
-  const extract::ExtractResult ex = extract::extractCell(*chip.core);
+  const extract::ExtractResult ex =
+      extract::extractFlat(chip.flatCore(), extract::labelsOf(*chip.core));
   netlist::SpiceOptions opts;
   opts.title = chip.desc.name + " extracted netlist";
   os << netlist::writeSpice(ex.netlist, opts);
 }
 
 void emitSticksSvg(const core::CompiledChip& chip, std::ostream& os) {
-  os << sticksSvg(sticksOf(cell::flatten(*chip.core)));
+  os << sticksSvg(sticksOf(chip.flatCore()));
 }
 
 template <Representation R>

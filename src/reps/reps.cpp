@@ -54,7 +54,8 @@ std::string simulationSummary(const core::CompiledChip& chip) {
 std::string transistorSummary(const core::CompiledChip& chip) {
   // Extract the core (the decoder's stylized loads extract too, but the
   // core is the electrically faithful part).
-  const extract::ExtractResult ex = extract::extractCell(*chip.core);
+  const extract::ExtractResult ex =
+      extract::extractFlat(chip.flatCore(), extract::labelsOf(*chip.core));
   std::ostringstream os;
   os << "extracted from core artwork:\n" << ex.netlist.toText();
   return os.str();
@@ -70,8 +71,7 @@ RepresentationSet generateAll(const core::CompiledChip& chip) {
   svgo.title = chip.desc.name;
   svgo.pixelsPerUnit = 0.25;
   rs.layoutSvg = layout::renderSvg(*chip.top, svgo);
-  const cell::FlatLayout flat = cell::flatten(*chip.core);
-  const std::vector<Stick> sticks = sticksOf(flat);
+  const std::vector<Stick> sticks = sticksOf(chip.flatCore());
   rs.sticksText = sticksText(sticks);
   rs.sticksSvg = sticksSvg(sticks);
   rs.transistorText = transistorSummary(chip);
@@ -86,7 +86,7 @@ std::string generateText(const core::CompiledChip& chip, Representation r) {
   switch (r) {
     case Representation::Layout: return layout::writeCif(*chip.top);
     case Representation::Sticks:
-      return sticksText(sticksOf(cell::flatten(*chip.core)));
+      return sticksText(sticksOf(chip.flatCore()));
     case Representation::Transistors: return transistorSummary(chip);
     case Representation::Logic: return chip.logic.toText();
     case Representation::Text: return userManual(chip);
