@@ -81,9 +81,7 @@ Run runDrc(const cell::FlatLayout& flat, bool useIndex, unsigned threads) {
 }
 
 void recordRow(const char* name, std::size_t n, const Run& run) {
-  bench::BenchJson::instance().record(
-      name, static_cast<long long>(n), run.seconds * 1e9,
-      static_cast<double>(n) / run.seconds);
+  bench::BenchJson::instance().recordRun(name, static_cast<long long>(n), run.seconds);
 }
 
 void printTable(bool smoke) {
@@ -149,7 +147,10 @@ BENCHMARK(BM_DrcBrute)->RangeMultiplier(4)->Range(1024, 16384)->Unit(benchmark::
 int main(int argc, char** argv) {
   const bool smoke = std::getenv("BB_BENCH_SMOKE") != nullptr;
   printTable(smoke);
-  bench::BenchJson::instance().write();
+  if (!bench::BenchJson::instance().write()) {
+    std::fprintf(stderr, "FATAL: failed to land perf rows in BENCH.json (cause above)\n");
+    return 1;
+  }
   if (smoke) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,211 @@
+/// UNION-SCALING — the sweep-line union/coverage core against the
+/// reference O(n^2) slab scan, on synthetic overlapping artwork swept
+/// from 1k to 100k rects. Three kernels per row:
+///   * unionArea: boundary sweep vs unionAreaBrute (the acceptance bar
+///     is >=10x at 50k rects; in practice it is orders of magnitude),
+///   * unionRects: maximal decomposition, checked against the sweep
+///     area (piece areas must sum to it exactly),
+///   * subtractRects: index-filtered hole subtraction vs the sequential
+///     subtractRectsBrute, compared bit-for-bit (values AND order).
+/// Every row where both engines run asserts exact equivalence, so the
+/// speedup is never bought with a wrong answer.
+///
+/// Env knobs: BB_BENCH_SMOKE=1 caps the sweep for CI (and skips the
+/// google-benchmark timings); BB_BENCH_FULL=1 extends brute-force to
+/// the largest sizes.
+
+#include "bench_util.hpp"
+
+#include "extract/extract.hpp"
+#include "geom/geometry.hpp"
+#include "geom/sweep.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+using namespace bb;
+
+namespace {
+
+using geom::Coord;
+using geom::lambda;
+using geom::Rect;
+
+/// ~n tiles on a square grid at 9L pitch, deterministically jittered
+/// off-grid at quarter-lambda resolution so jittered 7L tiles spill
+/// into their neighbors and nearly every rect contributes distinct x
+/// edges (grid-aligned artwork would collapse the slab scan's slab
+/// count and flatter the reference — and keep the pitch large enough
+/// that the slab count keeps growing with n instead of saturating at
+/// the domain width). Every 7th tile grows into a 12L blob overlapping
+/// its neighbors and every 13th is duplicated exactly. The grid is
+/// recentered so half the artwork sits in negative space.
+std::vector<Rect> makeRects(std::size_t n) {
+  std::vector<Rect> rs;
+  rs.reserve(n + n / 13 + 1);
+  const Coord pitch = lambda(9);
+  const Coord size = lambda(7);
+  const auto k = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const Coord shift = static_cast<Coord>(k / 2) * pitch;  // recenter on origin
+  std::uint64_t lcg = 0x9E3779B97F4A7C15ull;  // fixed seed: runs are reproducible
+  const auto jitter = [&lcg](Coord range) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<Coord>((lcg >> 33) % static_cast<std::uint64_t>(range));
+  };
+  std::size_t placed = 0;
+  for (std::size_t j = 0; j < k && placed < n; ++j) {
+    for (std::size_t i = 0; i < k && placed < n; ++i, ++placed) {
+      const Coord x = static_cast<Coord>(i) * pitch - shift + jitter(pitch);
+      const Coord y = static_cast<Coord>(j) * pitch - shift + jitter(pitch);
+      Coord s = size + jitter(lambda(2));
+      if (placed % 7 == 3) s = lambda(12);
+      rs.emplace_back(x, y, x + s, y + s);
+      if (placed % 13 == 5) rs.emplace_back(x, y, x + s, y + s);  // exact duplicate
+    }
+  }
+  return rs;
+}
+
+/// Hole set for the subtraction kernel: disjoint gate-like slots over
+/// the base, every 3rd skipped so live fragments stay connected and the
+/// fragment count grows with n.
+std::vector<Rect> makeHoles(const Rect& base, std::size_t n) {
+  std::vector<Rect> holes;
+  holes.reserve(n);
+  const Coord pitch = lambda(6);
+  const auto k = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  std::size_t placed = 0;
+  for (std::size_t j = 0; j < k && placed < n; ++j) {
+    for (std::size_t i = 0; i < k && placed < n; ++i, ++placed) {
+      if (placed % 3 == 0) continue;
+      const Coord x = base.x0 + static_cast<Coord>(i) * pitch;
+      const Coord y = base.y0 + static_cast<Coord>(j) * pitch;
+      holes.emplace_back(x, y, x + lambda(2), y + lambda(4));
+    }
+  }
+  return holes;
+}
+
+template <typename F>
+double timeIt(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+void printTable(bool smoke) {
+  const bool full = std::getenv("BB_BENCH_FULL") != nullptr;
+  std::vector<std::size_t> sizes = smoke ? std::vector<std::size_t>{1000, 5000}
+                                         : std::vector<std::size_t>{1000, 5000, 20000,
+                                                                    50000, 100000};
+  // The slab scan is quadratic; keep its largest run a few seconds
+  // unless explicitly asked for the full curve. 50k stays in so the
+  // >=10x acceptance row is always measured in full mode.
+  const std::size_t bruteCap = full ? sizes.back() : 50000;
+  // Sequential subtraction is O(holes x fragments); cap it lower.
+  const std::size_t subBruteCap = full ? sizes.back() : 20000;
+
+  std::printf("== UNION-SCALING: sweep-line union/coverage core vs brute reference ==\n");
+  std::printf("%8s %12s %12s %10s %12s %12s %10s\n", "rects", "brute_ms", "sweep_ms",
+              "speedup", "decomp_ms", "sub_brute_ms", "sub_idx_ms");
+  for (const std::size_t n : sizes) {
+    const std::vector<Rect> rects = makeRects(n);
+
+    Coord sweepArea = 0;
+    const double sweepS = timeIt([&] { sweepArea = geom::unionArea(rects); });
+    bench::BenchJson::instance().recordRun("union_sweep", static_cast<long long>(n), sweepS);
+
+    std::vector<Rect> pieces;
+    const double decompS = timeIt([&] { pieces = geom::sweep::unionRects(rects); });
+    bench::BenchJson::instance().recordRun("union_rects", static_cast<long long>(n), decompS);
+    Coord pieceArea = 0;
+    for (const Rect& p : pieces) pieceArea += p.area();
+    if (pieceArea != sweepArea) {
+      std::fprintf(stderr, "FATAL: unionRects decomposition area diverged at n=%zu\n", n);
+      std::abort();
+    }
+
+    double bruteS = -1;
+    if (n <= bruteCap) {
+      Coord bruteArea = 0;
+      bruteS = timeIt([&] { bruteArea = geom::unionAreaBrute(rects); });
+      bench::BenchJson::instance().recordRun("union_brute", static_cast<long long>(n), bruteS);
+      if (bruteArea != sweepArea) {
+        std::fprintf(stderr, "FATAL: sweep unionArea diverged from brute force at n=%zu\n", n);
+        std::abort();
+      }
+    }
+
+    // Subtraction: holes over the artwork bbox, indexed vs sequential.
+    const Rect base = geom::bboxOf(rects);
+    const std::vector<Rect> holes = makeHoles(base, n);
+    std::vector<Rect> subIdx;
+    const double subIdxS = timeIt([&] { subIdx = extract::subtractRects(base, holes); });
+    bench::BenchJson::instance().recordRun("subtract_indexed", static_cast<long long>(n),
+                                           subIdxS);
+    double subBruteS = -1;
+    if (n <= subBruteCap) {
+      std::vector<Rect> subBrute;
+      subBruteS = timeIt([&] { subBrute = extract::subtractRectsBrute(base, holes); });
+      bench::BenchJson::instance().recordRun("subtract_brute", static_cast<long long>(n),
+                                             subBruteS);
+      if (subBrute != subIdx) {
+        std::fprintf(stderr,
+                     "FATAL: indexed subtractRects diverged from brute force at n=%zu\n", n);
+        std::abort();
+      }
+    }
+
+    char bruteCol[16], speedCol[16], subBruteCol[16];
+    if (bruteS >= 0) {
+      std::snprintf(bruteCol, sizeof(bruteCol), "%.2f", bruteS * 1e3);
+      std::snprintf(speedCol, sizeof(speedCol), "%.1fx", bruteS / (sweepS > 0 ? sweepS : 1e-9));
+    } else {
+      std::snprintf(bruteCol, sizeof(bruteCol), "-");
+      std::snprintf(speedCol, sizeof(speedCol), "-");
+    }
+    if (subBruteS >= 0) std::snprintf(subBruteCol, sizeof(subBruteCol), "%.2f", subBruteS * 1e3);
+    else std::snprintf(subBruteCol, sizeof(subBruteCol), "-");
+    std::printf("%8zu %12s %12.2f %10s %12.2f %12s %10.2f\n", n, bruteCol, sweepS * 1e3,
+                speedCol, decompS * 1e3, subBruteCol, subIdxS * 1e3);
+  }
+  std::printf("(union brute capped at %zu, subtract brute at %zu rects%s)\n\n", bruteCap,
+              subBruteCap, full ? "" : "; BB_BENCH_FULL=1 for the full curves");
+}
+
+void BM_UnionSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Rect> rects = makeRects(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::unionArea(rects));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnionSweep)->RangeMultiplier(4)->Range(1024, 65536)->Unit(benchmark::kMillisecond);
+
+void BM_UnionBrute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Rect> rects = makeRects(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::unionAreaBrute(rects));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnionBrute)->RangeMultiplier(4)->Range(1024, 16384)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("BB_BENCH_SMOKE") != nullptr;
+  printTable(smoke);
+  if (!bench::BenchJson::instance().write()) {
+    std::fprintf(stderr, "FATAL: failed to land perf rows in BENCH.json (cause above)\n");
+    return 1;
+  }
+  if (smoke) return 0;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -33,13 +34,36 @@ class BenchJson {
     return inst;
   }
 
+  /// Non-finite rates (a sub-resolution timing divides by zero) are
+  /// clamped to 0 so the file always stays parseable JSON — "inf"/"nan"
+  /// are not JSON tokens and one such row used to poison the whole
+  /// trajectory.
   void record(std::string name, long long n, double nsPerOp, double itemsPerSec) {
+    if (!std::isfinite(nsPerOp) || nsPerOp < 0) nsPerOp = 0;
+    if (!std::isfinite(itemsPerSec) || itemsPerSec < 0) itemsPerSec = 0;
     rows_.push_back({std::move(name), n, nsPerOp, itemsPerSec});
   }
 
+  /// Record one timed run of `n` items: one "op" is the whole run (one
+  /// engine invocation over n items), so ns_per_op is the run's wall
+  /// time and items_per_sec is n over it — the shape every scaling
+  /// bench records. The elapsed time is clamped to clock resolution so
+  /// smoke-mode runs on tiny problem sizes can never produce a
+  /// division-by-zero row.
+  void recordRun(std::string name, long long n, double seconds) {
+    const double s = seconds > 1e-9 ? seconds : 1e-9;
+    record(std::move(name), n, s * 1e9, static_cast<double>(n) / s);
+  }
+
   /// Names are bench-internal identifiers ([a-z0-9_]), not user text, so
-  /// no JSON string escaping is needed.
-  void write(const std::string& path = "BENCH.json") const {
+  /// no JSON string escaping is needed. Writes to a temp file and renames
+  /// over `path` so a crash mid-write never leaves a truncated array.
+  /// Returns false when THIS process recorded no rows or the write
+  /// itself failed (each cause reported on stderr separately) — rows
+  /// merged from earlier benches don't count, so a bench that silently
+  /// stopped reporting exits nonzero even when it runs after one that
+  /// didn't.
+  bool write(const std::string& path = "BENCH.json") const {
     std::string existing;
     {
       std::ifstream in(path);
@@ -49,27 +73,58 @@ class BenchJson {
         existing = ss.str();
       }
     }
-    // Merge with a previous array: strip its closing bracket and append.
-    const auto close = existing.rfind(']');
-    std::ofstream out(path, std::ios::trunc);
-    bool first = true;
-    if (close != std::string::npos && existing.find('[') != std::string::npos) {
-      out << existing.substr(0, close);
-      first = existing.find('{') == std::string::npos;  // was it empty?
-    } else {
-      out << "[\n";
+    const std::string tmp = path + ".tmp";
+    {
+      // Merge with a previous array: strip its closing bracket and append.
+      const auto close = existing.rfind(']');
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "BenchJson: cannot open %s for writing\n", tmp.c_str());
+        return false;
+      }
+      bool first = true;
+      if (close != std::string::npos && existing.find('[') != std::string::npos) {
+        out << existing.substr(0, close);
+        if (existing.find('{') != std::string::npos) {
+          first = false;  // previous array had rows; separate with a comma
+        }
+      } else {
+        out << "[\n";
+      }
+      for (const Row& r : rows_) {
+        if (!first) out << ",\n";
+        first = false;
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "  {\"name\": \"%s\", \"n\": %lld, \"ns_per_op\": %.1f, "
+                      "\"items_per_sec\": %.1f}",
+                      r.name.c_str(), r.n, r.nsPerOp, r.itemsPerSec);
+        out << buf;
+      }
+      out << "\n]\n";
+      if (!out.good()) {
+        std::fprintf(stderr, "BenchJson: write to %s failed\n", tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
+      }
     }
-    for (const Row& r : rows_) {
-      if (!first) out << ",\n";
-      first = false;
-      char buf[256];
-      std::snprintf(buf, sizeof(buf),
-                    "  {\"name\": \"%s\", \"n\": %lld, \"ns_per_op\": %.1f, "
-                    "\"items_per_sec\": %.1f}",
-                    r.name.c_str(), r.n, r.nsPerOp, r.itemsPerSec);
-      out << buf;
+    // POSIX rename replaces atomically; Windows refuses to clobber, so
+    // fall back to remove-then-rename there (a crash in between loses
+    // only the old file, never leaves a truncated one).
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(path.c_str());
+      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr, "BenchJson: cannot rename %s over %s\n", tmp.c_str(),
+                     path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+      }
     }
-    out << "\n]\n";
+    if (rows_.empty()) {
+      std::fprintf(stderr, "BenchJson: this bench recorded zero rows\n");
+      return false;
+    }
+    return true;
   }
 
  private:

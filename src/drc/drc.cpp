@@ -1,6 +1,7 @@
 #include "drc/drc.hpp"
 
 #include "core/workqueue.hpp"
+#include "geom/sweep.hpp"
 
 #include <algorithm>
 #include <functional>
@@ -36,27 +37,24 @@ struct Scratch {
   std::vector<int> cand;
   std::vector<int> bridge;
   std::vector<Rect> clip;
+  geom::sweep::CoverageQuery cq;
 };
 
 /// True if `r` is fully covered by the union of layer `l`. Indexed mode
-/// clips only the rects touching `r` (non-touching rects contribute no
-/// area, so the result is exactly the brute scan's).
+/// asks the sweep's coverage query against the per-layer index — one
+/// incremental O(k log k) gap probe over the k touching rects instead
+/// of a clip + full union-area pass per feature. Non-touching rects
+/// contribute no coverage, so the answer is exactly the brute scan's
+/// (both are exact integer predicates).
 bool coveredByLayer(const Rect& r, const cell::FlatLayout& flat, Layer l, bool useIndex,
                     Scratch& s) {
   if (r.isEmpty()) return true;
-  const auto& layer = flat.on(l);
+  if (useIndex) return s.cq.covers(r, flat.indexOn(l));
   s.clip.clear();
-  if (useIndex) {
-    flat.indexOn(l).queryTouching(r, s.cand);
-    for (const int j : s.cand) {
-      if (auto i = layer[static_cast<std::size_t>(j)].intersectWith(r)) s.clip.push_back(*i);
-    }
-  } else {
-    for (const Rect& c : layer) {
-      if (auto i = c.intersectWith(r)) s.clip.push_back(*i);
-    }
+  for (const Rect& c : flat.on(l)) {
+    if (auto i = c.intersectWith(r)) s.clip.push_back(*i);
   }
-  return geom::unionArea(s.clip) == r.area();
+  return geom::unionAreaBrute(s.clip) == r.area();
 }
 
 /// True if any rect on layer `l` touches `q`.
@@ -80,19 +78,25 @@ bool anyTouching(const Rect& q, const cell::FlatLayout& flat, Layer l, bool useI
 bool thinRectCovered(std::size_t self, const Rect& r, const cell::FlatLayout& flat, Layer l,
                      bool useIndex, Scratch& s) {
   const auto& layer = flat.on(l);
-  s.clip.clear();
-  auto consider = [&](std::size_t j) {
-    if (j == self || layer[j] == r) return;
-    if (auto i = layer[j].intersectWith(r)) s.clip.push_back(*i);
-  };
   if (useIndex) {
+    // Incremental coverage probe: candidates from the index, self and
+    // exact duplicates filtered, gap query clips internally.
     flat.indexOn(l).queryTouching(r, s.cand);
-    for (const int j : s.cand) consider(static_cast<std::size_t>(j));
-  } else {
-    s.clip.reserve(layer.size());
-    for (std::size_t j = 0; j < layer.size(); ++j) consider(j);
+    s.clip.clear();
+    for (const int j : s.cand) {
+      const auto js = static_cast<std::size_t>(j);
+      if (js == self || layer[js] == r) continue;
+      s.clip.push_back(layer[js]);
+    }
+    return s.cq.covers(r, s.clip);
   }
-  return geom::unionArea(s.clip) == r.area();
+  s.clip.clear();
+  s.clip.reserve(layer.size());
+  for (std::size_t j = 0; j < layer.size(); ++j) {
+    if (j == self || layer[j] == r) continue;
+    if (auto i = layer[j].intersectWith(r)) s.clip.push_back(*i);
+  }
+  return geom::unionAreaBrute(s.clip) == r.area();
 }
 
 void runWidthRule(const tech::WidthRule& wr, const cell::FlatLayout& flat,

@@ -90,8 +90,34 @@ TouchSource layerSource(const cell::FlatLayout& flat, Layer l, bool useIndex) {
 
 }  // namespace
 
-std::vector<Rect> subtractRects(const Rect& base, const std::vector<Rect>& holes) {
-  std::vector<Rect> live{base};
+namespace {
+
+/// Split `r` around `cut` (their overlap region) into up to four rects,
+/// in [above, below, left, right] order. Degenerate slices — a hole edge
+/// flush with the fragment edge yields a zero-extent band — are skipped
+/// at emit time rather than filtered afterwards, so the live set never
+/// carries zero-area fragments through later holes (they used to inflate
+/// `next.reserve` churn before the final erase_if dropped them).
+template <typename Emit>
+void splitAround(const Rect& r, const Rect& cut, Emit&& emit) {
+  const auto piece = [&emit](Coord x0, Coord y0, Coord x1, Coord y1) {
+    if (x0 < x1 && y0 < y1) emit(Rect{x0, y0, x1, y1});
+  };
+  piece(r.x0, cut.y1, r.x1, r.y1);        // above
+  piece(r.x0, r.y0, r.x1, cut.y0);        // below
+  piece(r.x0, cut.y0, cut.x0, cut.y1);    // left
+  piece(cut.x1, cut.y0, r.x1, cut.y1);    // right
+}
+
+/// Below this many holes a RectIndex costs more to build than the scans
+/// it saves; the sequential reference is used verbatim.
+constexpr std::size_t kSubtractIndexThreshold = 16;
+
+}  // namespace
+
+std::vector<Rect> subtractRectsBrute(const Rect& base, const std::vector<Rect>& holes) {
+  std::vector<Rect> live;
+  if (!base.isEmpty()) live.push_back(base);
   for (const Rect& h : holes) {
     std::vector<Rect> next;
     next.reserve(live.size());
@@ -101,16 +127,60 @@ std::vector<Rect> subtractRects(const Rect& base, const std::vector<Rect>& holes
         next.push_back(r);
         continue;
       }
-      // Split r into up to four rects around the cut.
-      if (r.y1 > cut->y1) next.emplace_back(r.x0, cut->y1, r.x1, r.y1);        // above
-      if (r.y0 < cut->y0) next.emplace_back(r.x0, r.y0, r.x1, cut->y0);        // below
-      if (r.x0 < cut->x0) next.emplace_back(r.x0, cut->y0, cut->x0, cut->y1);  // left
-      if (r.x1 > cut->x1) next.emplace_back(cut->x1, cut->y0, r.x1, cut->y1);  // right
+      splitAround(r, *cut, [&next](const Rect& p) { next.push_back(p); });
     }
     live = std::move(next);
   }
+  // Safety net: emit-time skipping means no empties should survive.
   std::erase_if(live, [](const Rect& r) { return r.isEmpty(); });
   return live;
+}
+
+std::vector<Rect> subtractRects(const Rect& base, const std::vector<Rect>& holes) {
+  if (base.isEmpty()) return {};
+  if (holes.size() < kSubtractIndexThreshold) return subtractRectsBrute(base, holes);
+
+  // Index the holes once, then split each fragment only against the
+  // holes touching it, lowest hole index first. Applying the lowest
+  // overlapping hole to a fragment and recursing on its pieces with the
+  // remaining holes builds exactly the same fragment tree as the
+  // sequential reference (splitting preserves relative order and a
+  // non-overlapping hole is a no-op there), so values AND order match
+  // subtractRectsBrute bit-for-bit — the tests and bench assert it.
+  const geom::RectIndex idx(holes);
+  std::vector<Rect> out;
+  struct Frame {
+    Rect r;
+    int fromHole;  ///< holes below this index were already applied
+  };
+  std::vector<Frame> stack{{base, 0}};
+  std::vector<int> cand;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    idx.queryTouching(f.r, cand);  // ascending hole indices
+    int h = -1;
+    std::optional<Rect> cut;
+    for (const int j : cand) {
+      if (j < f.fromHole) continue;
+      if ((cut = holes[static_cast<std::size_t>(j)].intersectWith(f.r))) {
+        h = j;
+        break;
+      }
+    }
+    if (h < 0) {
+      out.push_back(f.r);
+      continue;
+    }
+    // DFS emission order == reference order: push pieces reversed.
+    Rect pieces[4];
+    int n = 0;
+    splitAround(f.r, *cut, [&pieces, &n](const Rect& p) { pieces[n++] = p; });
+    for (int k = n - 1; k >= 0; --k) stack.push_back({pieces[k], h + 1});
+  }
+  // Safety net, mirroring the reference path.
+  std::erase_if(out, [](const Rect& r) { return r.isEmpty(); });
+  return out;
 }
 
 ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLabel>& labels,

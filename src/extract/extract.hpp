@@ -62,7 +62,20 @@ struct ExtractResult {
 
 /// Rectangle difference: `base` minus all `holes`, as a rect decomposition.
 /// Exposed for tests; extraction uses it to fracture diffusion at gates.
+/// Large hole sets are pre-filtered through a RectIndex so each live
+/// fragment is only split against the holes actually touching it (the
+/// sequential reference re-tests every fragment against every hole);
+/// fragment values and order are bit-identical to `subtractRectsBrute`.
+/// Degenerate cuts (hole edge flush with a base edge) are skipped at
+/// emit time, so no zero-area fragments are ever materialized.
 [[nodiscard]] std::vector<geom::Rect> subtractRects(const geom::Rect& base,
                                                     const std::vector<geom::Rect>& holes);
+
+/// Reference sequential subtraction (hole-by-hole over the whole live
+/// set — O(holes x fragments)). Kept for the equivalence tests and
+/// `bench_union_scaling`, which assert `subtractRects` matches it
+/// bit-for-bit, order included.
+[[nodiscard]] std::vector<geom::Rect> subtractRectsBrute(const geom::Rect& base,
+                                                         const std::vector<geom::Rect>& holes);
 
 }  // namespace bb::extract

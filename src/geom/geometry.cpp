@@ -159,7 +159,10 @@ Rect bboxOf(const std::vector<Rect>& rs) noexcept {
 // connectedComponents lives in rect_index.cpp (it routes through the
 // spatial index; the brute reference implementation sits beside it).
 
-Coord unionArea(const std::vector<Rect>& rs) {
+// The production unionArea is the O(n log n) boundary sweep in
+// sweep.cpp; this is the original O(n^2) slab scan, kept verbatim as the
+// reference the equivalence tests and bench_union_scaling diff against.
+Coord unionAreaBrute(const std::vector<Rect>& rs) {
   // Coordinate-compression sweep over x slabs; within a slab, merge y
   // intervals. Exact and simple; cells hold at most a few thousand rects.
   // Empty rects are skipped in place rather than erased, so the input

@@ -43,6 +43,13 @@ struct Point {
   constexpr Point& operator-=(Point o) noexcept { x -= o.x; y -= o.y; return *this; }
 };
 
+/// Floor-halve: rounds toward -inf, unlike `/ 2` which truncates toward
+/// zero. Midpoints computed this way are translation-invariant — a cell
+/// placed in negative coordinate space gets the same (relative) center
+/// as its positive-space twin. C++20 guarantees arithmetic shift on
+/// signed integers.
+[[nodiscard]] constexpr Coord floorHalf(Coord v) noexcept { return v >> 1; }
+
 /// Manhattan distance between two points — the wire-length metric used by
 /// the Roto-Router.
 [[nodiscard]] constexpr Coord manhattan(Point a, Point b) noexcept {
@@ -73,7 +80,12 @@ struct Rect {
   [[nodiscard]] constexpr Coord height() const noexcept { return y1 - y0; }
   [[nodiscard]] constexpr Coord area() const noexcept { return width() * height(); }
   [[nodiscard]] constexpr bool isEmpty() const noexcept { return x0 >= x1 || y0 >= y1; }
-  [[nodiscard]] constexpr Point center() const noexcept { return {(x0 + x1) / 2, (y0 + y1) / 2}; }
+  /// Midpoint, rounded toward -inf on odd extents so the result is
+  /// translation-invariant (plain `/ 2` would bias negative-space rects
+  /// up/right relative to positive-space ones).
+  [[nodiscard]] constexpr Point center() const noexcept {
+    return {floorHalf(x0 + x1), floorHalf(y0 + y1)};
+  }
   [[nodiscard]] constexpr Point lowerLeft() const noexcept { return {x0, y0}; }
   [[nodiscard]] constexpr Point upperRight() const noexcept { return {x1, y1}; }
 
@@ -108,8 +120,8 @@ struct Rect {
     r.y0 = y0 - dy;
     r.x1 = x1 + dx;
     r.y1 = y1 + dy;
-    if (r.x0 > r.x1) r.x0 = r.x1 = (x0 + x1) / 2;
-    if (r.y0 > r.y1) r.y0 = r.y1 = (y0 + y1) / 2;
+    if (r.x0 > r.x1) r.x0 = r.x1 = floorHalf(x0 + x1);
+    if (r.y0 > r.y1) r.y0 = r.y1 = floorHalf(y0 + y1);
     return r;
   }
 
@@ -163,11 +175,19 @@ struct RectComponents {
 };
 [[nodiscard]] RectComponents connectedComponents(const std::vector<Rect>& rs);
 
-/// Exact area of the union of rectangles (sweep-line; O(n^2 log n) worst
-/// case, fine for per-cell work). Used for utilization metrics and the
-/// DRC coverage checks. Non-destructive: callers can reuse their vector
+/// Exact area of the union of rectangles. O(n log n): an x-event sweep
+/// over a y-compressed coverage-count tree (see sweep.hpp, which also
+/// provides union decomposition and coverage-gap queries). Used for
+/// utilization metrics and the DRC coverage checks. Non-destructive:
+/// empty rects are skipped in place, so callers can reuse their vector
 /// (and its capacity) across calls.
 [[nodiscard]] Coord unionArea(const std::vector<Rect>& rs);
+
+/// Reference O(n^2) slab-scan union area (the pre-sweep implementation,
+/// kept verbatim). The equivalence tests and `bench_union_scaling`
+/// assert it matches `unionArea` bit-for-bit on every run; DRC's
+/// `useSpatialIndex = false` reference path still calls it.
+[[nodiscard]] Coord unionAreaBrute(const std::vector<Rect>& rs);
 
 [[nodiscard]] std::string toString(Point p);
 [[nodiscard]] std::string toString(const Rect& r);

@@ -76,14 +76,68 @@ TEST(Path, RectDecompositionCoversCorners) {
   EXPECT_EQ(p.length(), 20);
 }
 
+TEST(Rect, CenterFloorsTowardNegativeInfinity) {
+  // Odd-extent centers must round the same way on both sides of the
+  // origin; `/ 2` truncation used to bias negative-space rects up/right.
+  const Rect pos{2, 2, 5, 5};
+  const Rect neg{-5, -5, -2, -2};  // pos mirrored through the origin
+  EXPECT_EQ(pos.center(), (Point{3, 3}));
+  EXPECT_EQ(neg.center(), (Point{-4, -4}));  // floor(-3.5), not trunc -3
+  // Translation invariance: moving the rect moves the center exactly.
+  const Point d{7, 7};
+  EXPECT_EQ(neg.translated(d).center(), neg.center() + d);
+  EXPECT_EQ(pos.translated(Point{-7, -7}).center(), pos.center() - d);
+}
+
 TEST(UnionArea, OverlapsCountedOnce) {
   std::vector<Rect> rs = {{0, 0, 10, 10}, {5, 0, 15, 10}, {100, 100, 101, 101}};
   EXPECT_EQ(unionArea(rs), 150 + 1);
+  EXPECT_EQ(unionAreaBrute(rs), 150 + 1);
 }
 
 TEST(UnionArea, EmptyAndDegenerate) {
   EXPECT_EQ(unionArea({}), 0);
   EXPECT_EQ(unionArea({Rect{0, 0, 0, 10}}), 0);
+}
+
+TEST(UnionArea, DuplicatesCountedOnce) {
+  const Rect r{3, 3, 9, 8};
+  std::vector<Rect> rs = {r, r, r, r};
+  EXPECT_EQ(unionArea(rs), r.area());
+  EXPECT_EQ(unionAreaBrute(rs), r.area());
+}
+
+TEST(UnionArea, FullyNestedCountedOnce) {
+  std::vector<Rect> rs = {{0, 0, 20, 20}, {5, 5, 15, 15}, {8, 8, 9, 9}};
+  EXPECT_EQ(unionArea(rs), 400);
+  EXPECT_EQ(unionAreaBrute(rs), 400);
+}
+
+TEST(UnionArea, EmptyRectsLeftInPlace) {
+  // DRC reuses one scratch vector across calls: empty rects must be
+  // skipped in place, never erased or reordered.
+  const std::vector<Rect> rs = {{0, 0, 0, 10},   // empty (zero width)
+                                {0, 0, 10, 10},
+                                {4, 4, 4, 4},    // empty (point)
+                                {10, 0, 20, 10}};
+  const std::vector<Rect> before = rs;
+  EXPECT_EQ(unionArea(rs), 200);
+  EXPECT_EQ(rs, before);
+  EXPECT_EQ(unionAreaBrute(rs), 200);
+  EXPECT_EQ(rs, before);
+}
+
+TEST(UnionArea, CoordExtremesStayExact) {
+  // Far-flung artwork at +-1e15 with modest extents: huge empty slabs
+  // between clusters must contribute exactly zero, with no overflow.
+  const Coord far = 1'000'000'000'000'000;
+  std::vector<Rect> rs = {{-far, -far, -far + 100, -far + 50},
+                          {-far + 60, -far + 25, -far + 160, -far + 75},
+                          {far - 200, far - 40, far, far},
+                          {far - 200, far - 40, far, far}};  // duplicate at the extreme
+  const Coord expected = (100 * 50 + 100 * 50 - 40 * 25) + 200 * 40;
+  EXPECT_EQ(unionArea(rs), expected);
+  EXPECT_EQ(unionAreaBrute(rs), expected);
 }
 
 TEST(ConnectedComponents, GroupsTouching) {

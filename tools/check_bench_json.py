@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate for the CI perf trajectory: fail if BENCH.json is missing, empty,
+or malformed.
+
+The perf-smoke job uploads BENCH.json as the per-commit perf record; an
+empty or unparseable file means the trajectory silently stops being
+recorded, which is exactly the failure mode this script exists to catch.
+
+Usage:
+    check_bench_json.py BENCH.json [--require PREFIX]...
+
+Each --require PREFIX demands at least one row whose name starts with
+PREFIX, so the job also fails when a whole bench family stops reporting
+(e.g. a bench exits early before recording).
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z0-9_]+$")
+REQUIRED_KEYS = {"name": str, "n": int, "ns_per_op": (int, float), "items_per_sec": (int, float)}
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH.json check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("path")
+    ap.add_argument("--require", action="append", default=[],
+                    help="require at least one row whose name starts with this prefix")
+    args = ap.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        fail(f"{args.path} does not exist")
+    except json.JSONDecodeError as e:
+        fail(f"{args.path} is not valid JSON: {e}")
+
+    if not isinstance(data, list):
+        fail("top-level value must be a JSON array of rows")
+    if not data:
+        fail("trajectory is empty (zero rows recorded)")
+
+    for i, row in enumerate(data):
+        if not isinstance(row, dict):
+            fail(f"row {i} is not an object: {row!r}")
+        for key, types in REQUIRED_KEYS.items():
+            if key not in row:
+                fail(f"row {i} is missing key {key!r}: {row!r}")
+            if not isinstance(row[key], types) or isinstance(row[key], bool):
+                fail(f"row {i} key {key!r} has wrong type: {row!r}")
+        if not NAME_RE.match(row["name"]):
+            fail(f"row {i} name is not a bench identifier: {row['name']!r}")
+        if row["n"] <= 0:
+            fail(f"row {i} has non-positive n: {row!r}")
+        for key in ("ns_per_op", "items_per_sec"):
+            v = float(row[key])
+            if not math.isfinite(v) or v < 0:
+                fail(f"row {i} key {key!r} is not a finite non-negative number: {row!r}")
+
+    names = [row["name"] for row in data]
+    for prefix in args.require:
+        if not any(n.startswith(prefix) for n in names):
+            fail(f"no row from required bench family {prefix!r} "
+                 f"(recorded families: {sorted(set(names))})")
+
+    print(f"BENCH.json OK: {len(data)} rows, families {sorted(set(names))}")
+
+
+if __name__ == "__main__":
+    main()
