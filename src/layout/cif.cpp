@@ -100,6 +100,46 @@ std::string writeCif(const Cell& top, const CifOptions& opts) {
   return os.str();
 }
 
+std::string writeCif(const cell::FlatLayout& flat, const ViewOptions& view,
+                     const CifOptions& opts) {
+  const View v{flat, view};
+  std::ostringstream os;
+  if (opts.comments) {
+    os << "( Bristle Blocks silicon compiler -- CIF 2.0 mask set );\n";
+    os << "( flat artwork, window " << geom::toString(v.window()) << " );\n";
+  }
+  os << "DS 1 " << opts.scaleNum << ' ' << opts.scaleDen << ";\n";
+  if (opts.symbolNames) os << "9 flat;\n";
+  const auto polys = v.polygons();
+  for (tech::Layer l : tech::kAllLayers) {
+    bool wroteLayer = false;
+    auto needLayer = [&] {
+      if (!wroteLayer) {
+        os << "L " << tech::cifName(l) << ";\n";
+        wroteLayer = true;
+      }
+    };
+    v.forEachTile(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+      for (const geom::Rect& r : rs) {
+        needLayer();
+        os << "B " << r.width() << ' ' << r.height() << ' ' << r.center().x << ' '
+           << r.center().y << ";\n";
+      }
+    });
+    for (const auto& [pl, p] : polys) {
+      if (pl != l) continue;
+      needLayer();
+      os << "P";
+      for (geom::Point q : p->pts) os << ' ' << q.x << ' ' << q.y;
+      os << ";\n";
+    }
+  }
+  os << "DF;\n";
+  os << "C 1;\n";
+  os << "E\n";
+  return os.str();
+}
+
 CifStats cifStats(const std::string& cif) {
   CifStats st;
   std::istringstream is(cif);

@@ -7,7 +7,9 @@
 #pragma once
 
 #include "cell/cell.hpp"
+#include "cell/flatten.hpp"
 #include "cell/library.hpp"
+#include "layout/view.hpp"
 
 #include <string>
 
@@ -27,6 +29,18 @@ struct CifOptions {
 
 /// Write `top` and its whole hierarchy as a CIF file ending in `E`.
 [[nodiscard]] std::string writeCif(const cell::Cell& top, const CifOptions& opts = {});
+
+/// Write flattened artwork as one CIF symbol (DS 1), geometry streamed
+/// tile by tile from a `layout::View` — the windowed-emission path.
+/// Boxes come out in the View's deterministic tile order; polygons whose
+/// bbox touches the window are emitted whole after each layer's boxes.
+/// The default `view` (whole-artwork window, one tile, no merging) is
+/// bit-identical to walking the raw layer vectors front to back; with
+/// `view.merge` the boxes are the disjoint maximal pieces instead (note
+/// merged/clipped boxes can have odd extents, whose CIF centers round
+/// down — the same quarter-lambda caveat as the hierarchical writer).
+[[nodiscard]] std::string writeCif(const cell::FlatLayout& flat, const ViewOptions& view,
+                                   const CifOptions& opts = {});
 
 /// Statistics of a written mask set (for reports and tests).
 struct CifStats {

@@ -235,6 +235,52 @@ std::vector<std::uint8_t> writeGds(const Cell& top, const GdsOptions& opts) {
   return e.take();
 }
 
+std::vector<std::uint8_t> writeGds(const cell::FlatLayout& flat, const ViewOptions& view,
+                                   const GdsOptions& opts) {
+  const View v{flat, view};
+  Emitter e;
+  e.i16(kHeader, {600});
+  e.i16(kBgnLib, {1979, 6, 25, 0, 0, 0, 1979, 6, 25, 0, 0, 0});
+  e.ascii(kLibName, opts.libName);
+  e.f64(kUnits, {1.0 / opts.dbPerUser, opts.unitMeters / opts.dbPerUser});
+
+  e.i16(kBgnStr, {1979, 6, 25, 0, 0, 0, 1979, 6, 25, 0, 0, 0});
+  e.ascii(kStrName, opts.flatStructName);
+  const auto polys = v.polygons();
+  for (tech::Layer l : tech::kAllLayers) {
+    const auto layer = static_cast<std::int16_t>(tech::gdsNumber(l));
+    v.forEachTile(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+      for (const geom::Rect& r : rs) {
+        e.none(kBoundary);
+        e.i16(kLayer, {layer});
+        e.i16(kDatatype, {0});
+        e.i32(kXy, rectXy(r));
+        e.none(kEndEl);
+      }
+    });
+    for (const auto& [pl, p] : polys) {
+      if (pl != l) continue;
+      e.none(kBoundary);
+      e.i16(kLayer, {layer});
+      e.i16(kDatatype, {0});
+      std::vector<std::int32_t> xy;
+      for (geom::Point q : p->pts) {
+        xy.push_back(static_cast<std::int32_t>(q.x));
+        xy.push_back(static_cast<std::int32_t>(q.y));
+      }
+      if (!p->pts.empty()) {
+        xy.push_back(static_cast<std::int32_t>(p->pts[0].x));
+        xy.push_back(static_cast<std::int32_t>(p->pts[0].y));
+      }
+      e.i32(kXy, xy);
+      e.none(kEndEl);
+    }
+  }
+  e.none(kEndStr);
+  e.none(kEndLib);
+  return e.take();
+}
+
 GdsStats gdsStats(const std::vector<std::uint8_t>& bytes) {
   GdsStats st;
   std::size_t pos = 0;

@@ -7,6 +7,8 @@
 #pragma once
 
 #include "cell/cell.hpp"
+#include "cell/flatten.hpp"
+#include "layout/view.hpp"
 
 #include <cstdint>
 #include <string>
@@ -21,10 +23,22 @@ struct GdsOptions {
   double unitMeters = 0.625e-6;
   /// Database units per user unit.
   double dbPerUser = 1000.0;
+  /// Structure name used by the flat (windowed) writer.
+  std::string flatStructName = "FLAT";
 };
 
 /// Serialize `top` and its hierarchy to a GDSII byte stream.
 [[nodiscard]] std::vector<std::uint8_t> writeGds(const cell::Cell& top,
+                                                 const GdsOptions& opts = {});
+
+/// Serialize flattened artwork as a single GDSII structure, geometry
+/// streamed tile by tile from a `layout::View` — the windowed-emission
+/// path. Boundaries come out in the View's deterministic tile order,
+/// each layer's rects followed by its window-touching polygons. The
+/// default `view` is bit-identical to walking the raw layer vectors;
+/// `view.merge` emits the disjoint maximal pieces instead.
+[[nodiscard]] std::vector<std::uint8_t> writeGds(const cell::FlatLayout& flat,
+                                                 const ViewOptions& view,
                                                  const GdsOptions& opts = {});
 
 /// Minimal structural decode of a GDSII stream (record walk) for tests:

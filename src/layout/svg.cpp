@@ -4,6 +4,21 @@
 
 namespace bb::layout {
 
+std::string xmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void openDoc(std::ostringstream& os, const geom::Rect& bb, const SvgOptions& opts) {
@@ -12,7 +27,7 @@ void openDoc(std::ostringstream& os, const geom::Rect& bb, const SvgOptions& opt
   const double h = static_cast<double>(bb.height()) * s + 20;
   os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
      << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n";
-  if (!opts.title.empty()) os << "<title>" << opts.title << "</title>\n";
+  if (!opts.title.empty()) os << "<title>" << xmlEscape(opts.title) << "</title>\n";
   os << "<rect width=\"100%\" height=\"100%\" fill=\"#f8f8f4\"/>\n";
 }
 
@@ -34,20 +49,38 @@ void emitRect(std::ostringstream& os, const Mapper& m, const geom::Rect& r, tech
      << "\" fill-opacity=\"" << opacity << "\"/>\n";
 }
 
-void emitFlat(std::ostringstream& os, const Mapper& m, const cell::FlatLayout& flat,
-              double opacity) {
+void emitFlat(std::ostringstream& os, const Mapper& m, const View& view, double opacity) {
   // Draw in stack order: diffusion, implant, buried, poly, contact, metal, glass.
   const tech::Layer order[] = {tech::Layer::Diffusion, tech::Layer::Implant, tech::Layer::Buried,
                                tech::Layer::Poly,      tech::Layer::Contact, tech::Layer::Metal,
                                tech::Layer::Glass};
   for (tech::Layer l : order) {
-    for (const geom::Rect& r : flat.on(l)) emitRect(os, m, r, l, opacity);
+    view.forEachTile(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+      for (const geom::Rect& r : rs) emitRect(os, m, r, l, opacity);
+    });
   }
-  for (const auto& [l, p] : flat.polygons) {
+  for (const auto& [l, p] : view.polygons()) {
     os << "<polygon points=\"";
-    for (geom::Point q : p.pts) os << m.x(q.x) << ',' << m.y(q.y) << ' ';
+    for (geom::Point q : p->pts) os << m.x(q.x) << ',' << m.y(q.y) << ' ';
     os << "\" fill=\"" << tech::displayColor(l) << "\" fill-opacity=\"" << opacity << "\"/>\n";
   }
+}
+
+void emitOverlayPoint(std::ostringstream& os, const Mapper& m, const SvgOverlayPoint& p) {
+  // The color is caller-supplied text too — escape it like the label.
+  const std::string color = xmlEscape(p.color);
+  os << "<circle cx=\"" << m.x(p.at.x) << "\" cy=\"" << m.y(p.at.y)
+     << "\" r=\"3\" fill=\"" << color << "\"/>\n";
+  if (!p.label.empty()) {
+    os << "<text x=\"" << m.x(p.at.x) + 4 << "\" y=\"" << m.y(p.at.y) - 3
+       << "\" font-size=\"8\" fill=\"" << color << "\">" << xmlEscape(p.label) << "</text>\n";
+  }
+}
+
+/// True when the overlay point should be drawn: always for a full render,
+/// only inside the viewport for a windowed one.
+bool overlayVisible(const SvgOptions& opts, geom::Point at) {
+  return !opts.view.window || opts.view.window->contains(at);
 }
 
 }  // namespace
@@ -61,10 +94,11 @@ std::string renderSvg(const cell::Cell& top, const SvgOptions& opts) {
     }
   }
   std::ostringstream os;
-  geom::Rect bb = top.boundary().unionWith(flat.bbox());
+  const geom::Rect bb =
+      opts.view.window ? *opts.view.window : top.boundary().unionWith(flat.bbox());
   openDoc(os, bb, opts);
   const Mapper m{bb, opts.pixelsPerUnit};
-  emitFlat(os, m, flat, opts.fillOpacity);
+  emitFlat(os, m, View{flat, opts.view}, opts.fillOpacity);
   if (opts.drawBoundary) {
     const geom::Rect b = top.boundary();
     os << "<rect x=\"" << m.x(b.x0) << "\" y=\"" << m.y(b.y1) << "\" width=\""
@@ -73,12 +107,7 @@ std::string renderSvg(const cell::Cell& top, const SvgOptions& opts) {
        << "\" fill=\"none\" stroke=\"#444\" stroke-dasharray=\"4 3\"/>\n";
   }
   for (const SvgOverlayPoint& p : overlay) {
-    os << "<circle cx=\"" << m.x(p.at.x) << "\" cy=\"" << m.y(p.at.y)
-       << "\" r=\"3\" fill=\"" << p.color << "\"/>\n";
-    if (!p.label.empty()) {
-      os << "<text x=\"" << m.x(p.at.x) + 4 << "\" y=\"" << m.y(p.at.y) - 3
-         << "\" font-size=\"8\" fill=\"" << p.color << "\">" << p.label << "</text>\n";
-    }
+    if (overlayVisible(opts, p.at)) emitOverlayPoint(os, m, p);
   }
   os << "</svg>\n";
   return os.str();
@@ -87,20 +116,20 @@ std::string renderSvg(const cell::Cell& top, const SvgOptions& opts) {
 std::string renderSvg(const cell::FlatLayout& flat, const std::vector<SvgOverlayPoint>& overlay,
                       const SvgOptions& opts) {
   std::ostringstream os;
-  geom::Rect bb = flat.bbox();
-  for (const SvgOverlayPoint& p : overlay) {
-    bb = bb.unionWith(geom::Rect{p.at.x, p.at.y, p.at.x, p.at.y});
+  geom::Rect bb;
+  if (opts.view.window) {
+    bb = *opts.view.window;
+  } else {
+    bb = flat.bbox();
+    for (const SvgOverlayPoint& p : overlay) {
+      bb = bb.unionWith(geom::Rect{p.at.x, p.at.y, p.at.x, p.at.y});
+    }
   }
   openDoc(os, bb, opts);
   const Mapper m{bb, opts.pixelsPerUnit};
-  emitFlat(os, m, flat, opts.fillOpacity);
+  emitFlat(os, m, View{flat, opts.view}, opts.fillOpacity);
   for (const SvgOverlayPoint& p : overlay) {
-    os << "<circle cx=\"" << m.x(p.at.x) << "\" cy=\"" << m.y(p.at.y)
-       << "\" r=\"3\" fill=\"" << p.color << "\"/>\n";
-    if (!p.label.empty()) {
-      os << "<text x=\"" << m.x(p.at.x) + 4 << "\" y=\"" << m.y(p.at.y) - 3
-         << "\" font-size=\"8\" fill=\"" << p.color << "\">" << p.label << "</text>\n";
-    }
+    if (overlayVisible(opts, p.at)) emitOverlayPoint(os, m, p);
   }
   os << "</svg>\n";
   return os.str();

@@ -2,15 +2,27 @@
 /// SVG rendering of layouts, for humans. Renders flattened artwork in the
 /// Mead–Conway colour convention with optional bristle markers — the
 /// modern stand-in for the pen plotter the 1979 system drew on.
+///
+/// Geometry streams from a `layout::View`, so a render can be windowed to
+/// a viewport (only geometry reaching into `window` is drawn, found via
+/// the per-layer spatial indexes), tiled, and optionally merged into
+/// overlap-free maximal rects. The defaults reproduce the classic
+/// full-chip render byte for byte.
 
 #pragma once
 
 #include "cell/cell.hpp"
 #include "cell/flatten.hpp"
+#include "layout/view.hpp"
 
 #include <string>
 
 namespace bb::layout {
+
+/// Escape text for embedding in XML/SVG character data or attribute
+/// values (&, <, >, "). Port and label names are user-controlled, so
+/// every string the SVG writers interpolate goes through this.
+[[nodiscard]] std::string xmlEscape(std::string_view s);
 
 struct SvgOptions {
   double pixelsPerUnit = 0.5;
@@ -18,6 +30,12 @@ struct SvgOptions {
   bool drawBristles = true;
   bool drawBoundary = true;
   std::string title;
+  /// Viewport/streaming parameters. When `view.window` is set the
+  /// document is sized to the window and only geometry touching it is
+  /// drawn (overlay markers outside the window are skipped); unset
+  /// renders the whole artwork. `view.merge` draws the merged maximal
+  /// rects instead of the raw ones.
+  ViewOptions view;
 };
 
 /// Render a cell (flattened) to an SVG document.

@@ -1,0 +1,92 @@
+#include "layout/view.hpp"
+
+#include "geom/sweep.hpp"
+
+namespace bb::layout {
+
+View::View(const cell::FlatLayout& flat, ViewOptions opts)
+    : flat_(&flat), opts_(std::move(opts)) {
+  window_ = opts_.window ? *opts_.window : flat.bbox();
+  const geom::Coord w = window_.width();
+  const geom::Coord h = window_.height();
+  if (opts_.tileSize > 0) {
+    pitchX_ = pitchY_ = opts_.tileSize;
+    tilesX_ = w > 0 ? static_cast<std::size_t>((w + pitchX_ - 1) / pitchX_) : 1;
+    tilesY_ = h > 0 ? static_cast<std::size_t>((h + pitchY_ - 1) / pitchY_) : 1;
+  } else {
+    // One tile covering the window (pitch at least 1 so a degenerate
+    // window still forms a well-defined 1x1 grid).
+    pitchX_ = std::max<geom::Coord>(w, 1);
+    pitchY_ = std::max<geom::Coord>(h, 1);
+    tilesX_ = tilesY_ = 1;
+  }
+}
+
+geom::Rect View::tileRect(std::size_t tx, std::size_t ty) const noexcept {
+  const geom::Coord x0 = window_.x0 + static_cast<geom::Coord>(tx) * pitchX_;
+  const geom::Coord y0 = window_.y0 + static_cast<geom::Coord>(ty) * pitchY_;
+  const geom::Coord x1 = tx + 1 == tilesX_ ? window_.x1 : std::min(x0 + pitchX_, window_.x1);
+  const geom::Coord y1 = ty + 1 == tilesY_ ? window_.y1 : std::min(y0 + pitchY_, window_.y1);
+  return geom::Rect{x0, y0, std::max(x0, x1), std::max(y0, y1)};
+}
+
+std::size_t View::tileOf(geom::Coord v, geom::Coord lo, geom::Coord pitch,
+                         std::size_t count) noexcept {
+  if (v <= lo) return 0;
+  const auto t = static_cast<std::size_t>((v - lo) / pitch);
+  return t < count ? t : count - 1;
+}
+
+void View::forEachTile(tech::Layer l, const TileFn& fn) const {
+  const geom::RectIndex& idx = flat_->indexOn(l);
+  std::vector<int> cand;
+  std::vector<geom::Rect> tileRects;
+  std::vector<geom::Rect> clipped;
+  for (std::size_t ty = 0; ty < tilesY_; ++ty) {
+    for (std::size_t tx = 0; tx < tilesX_; ++tx) {
+      const geom::Rect tile = tileRect(tx, ty);
+      idx.queryTouching(tile, cand);
+      tileRects.clear();
+      if (!opts_.merge) {
+        // Emit each rect from exactly one tile: the tile that contains
+        // its window-clamped lower-left corner. The candidates arrive in
+        // ascending source order, so with a single tile this degenerates
+        // to the raw-vector walk the pre-View writers did.
+        for (const int i : cand) {
+          const geom::Rect& r = idx.rect(static_cast<std::size_t>(i));
+          const geom::Coord ax = std::min(std::max(r.x0, window_.x0), window_.x1);
+          const geom::Coord ay = std::min(std::max(r.y0, window_.y0), window_.y1);
+          if (tileOf(ax, window_.x0, pitchX_, tilesX_) != tx) continue;
+          if (tileOf(ay, window_.y0, pitchY_, tilesY_) != ty) continue;
+          tileRects.push_back(r);
+        }
+      } else {
+        clipped.clear();
+        for (const int i : cand) {
+          const geom::Rect& r = idx.rect(static_cast<std::size_t>(i));
+          if (const auto c = r.intersectWith(tile)) clipped.push_back(*c);
+        }
+        tileRects = geom::sweep::unionRects(clipped);
+      }
+      fn(tx, ty, tileRects);
+    }
+  }
+}
+
+std::vector<geom::Rect> View::rectsOn(tech::Layer l) const {
+  std::vector<geom::Rect> out;
+  forEachTile(l, [&out](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+    out.insert(out.end(), rs.begin(), rs.end());
+  });
+  return out;
+}
+
+std::vector<std::pair<tech::Layer, const geom::Polygon*>> View::polygons() const {
+  std::vector<std::pair<tech::Layer, const geom::Polygon*>> out;
+  for (const auto& [l, p] : flat_->polygons) {
+    if (p.bbox().touches(window_)) out.emplace_back(l, &p);
+  }
+  return out;
+}
+
+}  // namespace bb::layout

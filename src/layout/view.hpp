@@ -1,0 +1,109 @@
+/// \file view.hpp
+/// Windowed, tile-streaming view over flattened artwork — the emission-side
+/// counterpart of the per-layer spatial indexes.
+///
+/// Every mask writer used to walk the raw flattened layer vectors front to
+/// back, so emitting a small viewport of a huge chip cost as much as
+/// emitting the whole chip. A `View` is a viewport window plus a tile grid
+/// over a `cell::FlatLayout`: it yields each layer's geometry tile by tile
+/// in a deterministic order, answering "what is inside this window?" with
+/// `FlatLayout::indexOn(layer)` window queries instead of full scans, so
+/// emission cost tracks the geometry in the window (output-sensitive), not
+/// the chip size. All four geometry writers (CIF, GDS, SVG, sticks-SVG)
+/// stream from a View; full-chip emission is simply the `window == bbox`,
+/// single-tile special case and is bit-identical to the raw walk.
+///
+/// Two streaming modes:
+///  * unmerged (default): original rects, unclipped, each emitted exactly
+///    once — a rect touching several tiles belongs to the tile containing
+///    its window-clamped lower-left corner. With the default single tile
+///    the order is exactly the source-vector order (the index returns
+///    ascending indices), which is what makes full emission byte-identical
+///    to the pre-View writers.
+///  * merged: each tile's geometry is clipped to the tile and decomposed
+///    with `geom::sweep::unionRects` into disjoint maximal rects — fewer,
+///    overlap-free boxes whose union area per layer equals the raw union
+///    area exactly (the equivalence tests assert this via
+///    `sweep::unionArea`). Merged output is clipped to the window.
+///
+/// Polygons (which only CIF import produces today) are not spatially
+/// indexed; the View filters them by bounding box against the window and
+/// emits survivors whole, so windowed emission never silently drops a
+/// polygon that reaches into the viewport.
+
+#pragma once
+
+#include "cell/flatten.hpp"
+#include "geom/geometry.hpp"
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace bb::layout {
+
+/// Window/tile/merge parameters for a View (and, via
+/// `reps::EmitterOptions`, for any registered emitter).
+struct ViewOptions {
+  /// Viewport in layout coordinates. Unset: the whole artwork
+  /// (`flat.bbox()`), i.e. full-chip emission.
+  std::optional<geom::Rect> window;
+  /// Tile pitch of the streaming grid. 0: one tile covering the window.
+  geom::Coord tileSize = 0;
+  /// Merge each tile's rects into disjoint maximal pieces
+  /// (`sweep::unionRects`), clipped to the tile. Off: original rects.
+  bool merge = false;
+};
+
+class View {
+ public:
+  /// `flat` must outlive the View (it is not copied). Building a View is
+  /// cheap; the per-layer indexes are built lazily by FlatLayout on the
+  /// first query of each layer.
+  explicit View(const cell::FlatLayout& flat, ViewOptions opts = {});
+
+  [[nodiscard]] const cell::FlatLayout& flat() const noexcept { return *flat_; }
+  [[nodiscard]] const geom::Rect& window() const noexcept { return window_; }
+  [[nodiscard]] bool merged() const noexcept { return opts_.merge; }
+
+  [[nodiscard]] std::size_t tilesX() const noexcept { return tilesX_; }
+  [[nodiscard]] std::size_t tilesY() const noexcept { return tilesY_; }
+  [[nodiscard]] std::size_t tileCount() const noexcept { return tilesX_ * tilesY_; }
+  /// Tile (tx, ty)'s cell, clipped to the window (the last row/column
+  /// absorbs the remainder, so tiles partition the window exactly).
+  [[nodiscard]] geom::Rect tileRect(std::size_t tx, std::size_t ty) const noexcept;
+
+  /// Stream layer `l` tile by tile in deterministic order: rows bottom-up,
+  /// tiles left-to-right within a row. `fn(tx, ty, rects)` — `rects` is a
+  /// scratch buffer reused across tiles (copy what must outlive the call).
+  /// Unmerged: original rects touching the window, each exactly once,
+  /// ascending source order within a tile. Merged: disjoint maximal
+  /// pieces of the tile-clipped union.
+  using TileFn =
+      std::function<void(std::size_t tx, std::size_t ty, const std::vector<geom::Rect>&)>;
+  void forEachTile(tech::Layer l, const TileFn& fn) const;
+
+  /// Layer `l`'s whole windowed geometry in one vector, in tile order
+  /// (the streaming order flattened).
+  [[nodiscard]] std::vector<geom::Rect> rectsOn(tech::Layer l) const;
+
+  /// Polygons whose bounding box touches the window, whole and in source
+  /// order. Windowed emission emits these un-clipped — conservative
+  /// over-emission rather than silent loss.
+  [[nodiscard]] std::vector<std::pair<tech::Layer, const geom::Polygon*>> polygons() const;
+
+ private:
+  /// Tile column/row owning window-clamped coordinate `v` along an axis
+  /// starting at `lo` with `count` tiles of pitch `pitch`.
+  [[nodiscard]] static std::size_t tileOf(geom::Coord v, geom::Coord lo, geom::Coord pitch,
+                                          std::size_t count) noexcept;
+
+  const cell::FlatLayout* flat_;
+  ViewOptions opts_;
+  geom::Rect window_;
+  geom::Coord pitchX_ = 1, pitchY_ = 1;
+  std::size_t tilesX_ = 1, tilesY_ = 1;
+};
+
+}  // namespace bb::layout

@@ -21,17 +21,33 @@ std::string Emitter::emitToString(const core::CompiledChip& chip) const {
   return os.str();
 }
 
+std::string Emitter::emitToString(const core::CompiledChip& chip,
+                                  const EmitterOptions& opts) const {
+  std::ostringstream os;
+  emit(chip, os, opts);
+  return os.str();
+}
+
 namespace {
 
+/// The registry-level window/tile/merge knobs as View parameters.
+layout::ViewOptions toViewOptions(const EmitterOptions& o) {
+  return layout::ViewOptions{o.window, o.tileSize, o.mergeTiles};
+}
+
 /// Declarative backend: name/extension/flags plus an emit function, so
-/// each built-in is a table row instead of a subclass.
+/// each built-in is a table row instead of a subclass. The optional
+/// windowed function makes a backend viewport-aware; without one,
+/// windowed requests fall back to full emission.
 class FnEmitter final : public Emitter {
  public:
   using EmitFn = void (*)(const core::CompiledChip&, std::ostream&);
+  using WindowedEmitFn = void (*)(const core::CompiledChip&, std::ostream&,
+                                  const EmitterOptions&);
 
   FnEmitter(std::string_view name, std::string_view ext, std::string_view desc,
-            bool binary, EmitFn fn)
-      : name_(name), ext_(ext), desc_(desc), binary_(binary), fn_(fn) {}
+            bool binary, EmitFn fn, WindowedEmitFn wfn = nullptr)
+      : name_(name), ext_(ext), desc_(desc), binary_(binary), fn_(fn), wfn_(wfn) {}
 
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }
   [[nodiscard]] std::string_view fileExtension() const noexcept override { return ext_; }
@@ -40,15 +56,29 @@ class FnEmitter final : public Emitter {
   void emit(const core::CompiledChip& chip, std::ostream& os) const override {
     fn_(chip, os);
   }
+  void emit(const core::CompiledChip& chip, std::ostream& os,
+            const EmitterOptions& opts) const override {
+    if (wfn_ != nullptr && opts.windowed()) {
+      wfn_(chip, os, opts);
+    } else {
+      fn_(chip, os);
+    }
+  }
 
  private:
   std::string_view name_, ext_, desc_;
   bool binary_;
   EmitFn fn_;
+  WindowedEmitFn wfn_;
 };
 
 void emitCif(const core::CompiledChip& chip, std::ostream& os) {
   os << layout::writeCif(*chip.top);
+}
+
+void emitCifWindowed(const core::CompiledChip& chip, std::ostream& os,
+                     const EmitterOptions& opts) {
+  os << layout::writeCif(chip.flatTop(), toViewOptions(opts));
 }
 
 void emitGds(const core::CompiledChip& chip, std::ostream& os) {
@@ -57,10 +87,28 @@ void emitGds(const core::CompiledChip& chip, std::ostream& os) {
            static_cast<std::streamsize>(bytes.size()));
 }
 
+void emitGdsWindowed(const core::CompiledChip& chip, std::ostream& os,
+                     const EmitterOptions& opts) {
+  const std::vector<std::uint8_t> bytes = layout::writeGds(chip.flatTop(), toViewOptions(opts));
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
 void emitSvg(const core::CompiledChip& chip, std::ostream& os) {
   layout::SvgOptions opts;
   opts.title = chip.desc.name;
   opts.pixelsPerUnit = 0.25;
+  os << layout::renderSvg(*chip.top, opts);
+}
+
+void emitSvgWindowed(const core::CompiledChip& chip, std::ostream& os,
+                     const EmitterOptions& eopts) {
+  layout::SvgOptions opts;
+  opts.title = chip.desc.name;
+  opts.pixelsPerUnit = 0.25;
+  opts.view = toViewOptions(eopts);
+  // The Cell overload keeps the boundary outline and bristle markers of
+  // the plain svg path; markers outside the window are skipped there.
   os << layout::renderSvg(*chip.top, opts);
 }
 
@@ -76,6 +124,11 @@ void emitSticksSvg(const core::CompiledChip& chip, std::ostream& os) {
   os << sticksSvg(sticksOf(chip.flatCore()));
 }
 
+void emitSticksSvgWindowed(const core::CompiledChip& chip, std::ostream& os,
+                           const EmitterOptions& opts) {
+  os << sticksSvg(sticksOf(chip.flatCore(), toViewOptions(opts)), 0.5, chip.desc.name);
+}
+
 template <Representation R>
 void emitRepText(const core::CompiledChip& chip, std::ostream& os) {
   os << generateText(chip, R);
@@ -85,11 +138,14 @@ void emitRepText(const core::CompiledChip& chip, std::ostream& os) {
 
 void registerBuiltinEmitters(EmitterRegistry& reg) {
   reg.add(std::make_unique<FnEmitter>(
-      "cif", "cif", "CIF 2.0 mask set (the 1979 deliverable)", false, &emitCif));
+      "cif", "cif", "CIF 2.0 mask set (the 1979 deliverable)", false, &emitCif,
+      &emitCifWindowed));
   reg.add(std::make_unique<FnEmitter>(
-      "gds", "gds", "GDSII stream for modern downstream tools", true, &emitGds));
+      "gds", "gds", "GDSII stream for modern downstream tools", true, &emitGds,
+      &emitGdsWindowed));
   reg.add(std::make_unique<FnEmitter>(
-      "svg", "svg", "human-viewable layout, Mead-Conway colours", false, &emitSvg));
+      "svg", "svg", "human-viewable layout, Mead-Conway colours", false, &emitSvg,
+      &emitSvgWindowed));
   reg.add(std::make_unique<FnEmitter>(
       "spice", "sp", "SPICE deck of the extracted core netlist", false, &emitSpice));
   reg.add(std::make_unique<FnEmitter>(
@@ -100,7 +156,7 @@ void registerBuiltinEmitters(EmitterRegistry& reg) {
       &emitRepText<Representation::Sticks>));
   reg.add(std::make_unique<FnEmitter>(
       "sticks-svg", "svg", "sticks topology diagram, rendered", false,
-      &emitSticksSvg));
+      &emitSticksSvg, &emitSticksSvgWindowed));
   reg.add(std::make_unique<FnEmitter>(
       "transistors", "txt", "extracted transistor diagram", false,
       &emitRepText<Representation::Transistors>));
@@ -162,6 +218,14 @@ bool EmitterRegistry::emit(const core::CompiledChip& chip, std::string_view name
   const Emitter* e = find(name);
   if (e == nullptr) return false;
   e->emit(chip, os);
+  return true;
+}
+
+bool EmitterRegistry::emit(const core::CompiledChip& chip, std::string_view name,
+                           std::ostream& os, const EmitterOptions& opts) const {
+  const Emitter* e = find(name);
+  if (e == nullptr) return false;
+  e->emit(chip, os, opts);
   return true;
 }
 

@@ -10,15 +10,38 @@
 #pragma once
 
 #include "core/chip.hpp"
+#include "geom/geometry.hpp"
 
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace bb::reps {
+
+/// Windowed-emission parameters, plumbed through the registry so any
+/// emitter can stream a viewport of a `CompileSession` result. The
+/// geometry backends (cif, gds, svg, sticks-svg) honour these via
+/// `layout::View`; non-geometry backends (spice, text, ...) ignore them.
+/// Default-constructed options mean full-chip emission and are
+/// bit-identical to the plain `emit(chip, os)` path.
+struct EmitterOptions {
+  /// Viewport in layout coordinates (chip coordinates for cif/gds/svg,
+  /// core coordinates for sticks-svg). Unset: the whole artwork.
+  std::optional<geom::Rect> window;
+  /// Streaming tile pitch; 0 = one tile covering the window.
+  geom::Coord tileSize = 0;
+  /// Merge each tile's rects into disjoint maximal pieces.
+  bool mergeTiles = false;
+
+  /// True when any windowing/streaming behaviour was requested.
+  [[nodiscard]] bool windowed() const noexcept {
+    return window.has_value() || tileSize > 0 || mergeTiles;
+  }
+};
 
 class Emitter {
  public:
@@ -36,8 +59,20 @@ class Emitter {
   /// Write the chip's artifact in this format.
   virtual void emit(const core::CompiledChip& chip, std::ostream& os) const = 0;
 
+  /// Windowed emission. The default implementation ignores the options
+  /// and emits the full artifact, so emitters without a geometric
+  /// output need not override; the built-in geometry backends stream
+  /// the requested viewport through `layout::View`.
+  virtual void emit(const core::CompiledChip& chip, std::ostream& os,
+                    const EmitterOptions& opts) const {
+    (void)opts;
+    emit(chip, os);
+  }
+
   /// Convenience: emit to a string.
   [[nodiscard]] std::string emitToString(const core::CompiledChip& chip) const;
+  [[nodiscard]] std::string emitToString(const core::CompiledChip& chip,
+                                         const EmitterOptions& opts) const;
 };
 
 /// Name -> emitter. The global registry is pre-populated with every
@@ -64,6 +99,10 @@ class EmitterRegistry {
 
   /// Emit by name; false when the name is unknown.
   bool emit(const core::CompiledChip& chip, std::string_view name, std::ostream& os) const;
+  /// Windowed emit by name — streams the viewport described by `opts`
+  /// (geometry backends honour it, others emit in full).
+  bool emit(const core::CompiledChip& chip, std::string_view name, std::ostream& os,
+            const EmitterOptions& opts) const;
 
  private:
   mutable std::mutex mu_;

@@ -1,28 +1,33 @@
 #include "reps/sticks.hpp"
 
+#include "layout/svg.hpp"
+
 #include <map>
 #include <sstream>
 
 namespace bb::reps {
 
-std::vector<Stick> sticksOf(const cell::FlatLayout& flat) {
+std::vector<Stick> sticksOf(const cell::FlatLayout& flat, const layout::ViewOptions& view) {
+  const layout::View v{flat, view};
   std::vector<Stick> out;
   for (tech::Layer l : tech::kAllLayers) {
-    for (const geom::Rect& r : flat.on(l)) {
-      Stick s;
-      s.layer = l;
-      if (r.width() >= r.height()) {
-        s.a = {r.x0, (r.y0 + r.y1) / 2};
-        s.b = {r.x1, (r.y0 + r.y1) / 2};
-      } else {
-        s.a = {(r.x0 + r.x1) / 2, r.y0};
-        s.b = {(r.x0 + r.x1) / 2, r.y1};
+    v.forEachTile(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+      for (const geom::Rect& r : rs) {
+        Stick s;
+        s.layer = l;
+        if (r.width() >= r.height()) {
+          s.a = {r.x0, (r.y0 + r.y1) / 2};
+          s.b = {r.x1, (r.y0 + r.y1) / 2};
+        } else {
+          s.a = {(r.x0 + r.x1) / 2, r.y0};
+          s.b = {(r.x0 + r.x1) / 2, r.y1};
+        }
+        out.push_back(s);
       }
-      out.push_back(s);
-    }
+    });
   }
-  for (const auto& [l, p] : flat.polygons) {
-    const geom::Rect r = p.bbox();
+  for (const auto& [l, p] : v.polygons()) {
+    const geom::Rect r = p->bbox();
     out.push_back(Stick{l, {r.x0, (r.y0 + r.y1) / 2}, {r.x1, (r.y0 + r.y1) / 2}});
   }
   return out;
@@ -44,7 +49,8 @@ std::string sticksText(const std::vector<Stick>& sticks) {
   return os.str();
 }
 
-std::string sticksSvg(const std::vector<Stick>& sticks, double pixelsPerUnit) {
+std::string sticksSvg(const std::vector<Stick>& sticks, double pixelsPerUnit,
+                      const std::string& title) {
   geom::Rect bb{};
   bool first = true;
   for (const Stick& s : sticks) {
@@ -56,7 +62,9 @@ std::string sticksSvg(const std::vector<Stick>& sticks, double pixelsPerUnit) {
   const double w = static_cast<double>(bb.width()) * pixelsPerUnit + 20;
   const double h = static_cast<double>(bb.height()) * pixelsPerUnit + 20;
   os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
-     << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+     << "\">\n";
+  if (!title.empty()) os << "<title>" << layout::xmlEscape(title) << "</title>\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
   auto X = [&](geom::Coord v) { return (static_cast<double>(v - bb.x0)) * pixelsPerUnit + 10; };
   auto Y = [&](geom::Coord v) { return (static_cast<double>(bb.y1 - v)) * pixelsPerUnit + 10; };
   for (const Stick& s : sticks) {

@@ -7,6 +7,7 @@
 
 #include "cell/cell.hpp"
 #include "cell/flatten.hpp"
+#include "layout/view.hpp"
 
 #include <string>
 
@@ -17,17 +18,25 @@ struct Stick {
   tech::Layer layer;
   geom::Point a;
   geom::Point b;
+
+  friend bool operator==(const Stick&, const Stick&) = default;
 };
 
 /// Reduce flattened artwork to sticks: every rectangle becomes its long
 /// centerline (squares become points, kept as zero-length sticks so
-/// contacts stay visible).
-[[nodiscard]] std::vector<Stick> sticksOf(const cell::FlatLayout& flat);
+/// contacts stay visible). Geometry streams from a `layout::View` over
+/// the per-layer spatial indexes, so `view` can restrict the diagram to
+/// a viewport window (and/or merge rects first); the default view is the
+/// whole artwork and reproduces the raw-vector walk exactly.
+[[nodiscard]] std::vector<Stick> sticksOf(const cell::FlatLayout& flat,
+                                          const layout::ViewOptions& view = {});
 
 /// Text summary (counts per layer + extents).
 [[nodiscard]] std::string sticksText(const std::vector<Stick>& sticks);
 
-/// SVG rendering with the Mead–Conway colours, single-width lines.
-[[nodiscard]] std::string sticksSvg(const std::vector<Stick>& sticks, double pixelsPerUnit = 0.5);
+/// SVG rendering with the Mead–Conway colours, single-width lines. The
+/// optional title is user text and is XML-escaped (`layout::xmlEscape`).
+[[nodiscard]] std::string sticksSvg(const std::vector<Stick>& sticks, double pixelsPerUnit = 0.5,
+                                    const std::string& title = {});
 
 }  // namespace bb::reps
