@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decoder.dir/bench/bench_ablation_decoder.cpp.o"
+  "CMakeFiles/bench_ablation_decoder.dir/bench/bench_ablation_decoder.cpp.o.d"
+  "bench_ablation_decoder"
+  "bench_ablation_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

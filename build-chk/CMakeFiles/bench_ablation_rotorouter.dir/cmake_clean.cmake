@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rotorouter.dir/bench/bench_ablation_rotorouter.cpp.o"
+  "CMakeFiles/bench_ablation_rotorouter.dir/bench/bench_ablation_rotorouter.cpp.o.d"
+  "bench_ablation_rotorouter"
+  "bench_ablation_rotorouter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rotorouter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stretch.dir/bench/bench_ablation_stretch.cpp.o"
+  "CMakeFiles/bench_ablation_stretch.dir/bench/bench_ablation_stretch.cpp.o.d"
+  "bench_ablation_stretch"
+  "bench_ablation_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_area_vs_hand.dir/bench/bench_area_vs_hand.cpp.o"
+  "CMakeFiles/bench_area_vs_hand.dir/bench/bench_area_vs_hand.cpp.o.d"
+  "bench_area_vs_hand"
+  "bench_area_vs_hand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_vs_hand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_compile.dir/bench/bench_batch_compile.cpp.o"
+  "CMakeFiles/bench_batch_compile.dir/bench/bench_batch_compile.cpp.o.d"
+  "bench_batch_compile"
+  "bench_batch_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

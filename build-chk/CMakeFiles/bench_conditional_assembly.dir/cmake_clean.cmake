@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conditional_assembly.dir/bench/bench_conditional_assembly.cpp.o"
+  "CMakeFiles/bench_conditional_assembly.dir/bench/bench_conditional_assembly.cpp.o.d"
+  "bench_conditional_assembly"
+  "bench_conditional_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conditional_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drc_scaling.dir/bench/bench_drc_scaling.cpp.o"
+  "CMakeFiles/bench_drc_scaling.dir/bench/bench_drc_scaling.cpp.o.d"
+  "bench_drc_scaling"
+  "bench_drc_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emit_scaling.dir/bench/bench_emit_scaling.cpp.o"
+  "CMakeFiles/bench_emit_scaling.dir/bench/bench_emit_scaling.cpp.o.d"
+  "bench_emit_scaling"
+  "bench_emit_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emit_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

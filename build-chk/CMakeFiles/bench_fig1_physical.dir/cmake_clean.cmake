@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_physical.dir/bench/bench_fig1_physical.cpp.o"
+  "CMakeFiles/bench_fig1_physical.dir/bench/bench_fig1_physical.cpp.o.d"
+  "bench_fig1_physical"
+  "bench_fig1_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_logical.dir/bench/bench_fig2_logical.cpp.o"
+  "CMakeFiles/bench_fig2_logical.dir/bench/bench_fig2_logical.cpp.o.d"
+  "bench_fig2_logical"
+  "bench_fig2_logical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_space.dir/bench/bench_fig3_space.cpp.o"
+  "CMakeFiles/bench_fig3_space.dir/bench/bench_fig3_space.cpp.o.d"
+  "bench_fig3_space"
+  "bench_fig3_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

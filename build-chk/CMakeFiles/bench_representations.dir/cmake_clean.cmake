@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_representations.dir/bench/bench_representations.cpp.o"
+  "CMakeFiles/bench_representations.dir/bench/bench_representations.cpp.o.d"
+  "bench_representations"
+  "bench_representations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

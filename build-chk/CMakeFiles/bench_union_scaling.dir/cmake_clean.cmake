@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_union_scaling.dir/bench/bench_union_scaling.cpp.o"
+  "CMakeFiles/bench_union_scaling.dir/bench/bench_union_scaling.cpp.o.d"
+  "bench_union_scaling"
+  "bench_union_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_union_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/handlayout.cpp" "CMakeFiles/bristle.dir/src/baseline/handlayout.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/baseline/handlayout.cpp.o.d"
+  "/root/repo/src/baseline/naive_pads.cpp" "CMakeFiles/bristle.dir/src/baseline/naive_pads.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/baseline/naive_pads.cpp.o.d"
+  "/root/repo/src/cell/cell.cpp" "CMakeFiles/bristle.dir/src/cell/cell.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/cell/cell.cpp.o.d"
+  "/root/repo/src/cell/flatten.cpp" "CMakeFiles/bristle.dir/src/cell/flatten.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/cell/flatten.cpp.o.d"
+  "/root/repo/src/cell/library.cpp" "CMakeFiles/bristle.dir/src/cell/library.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/cell/library.cpp.o.d"
+  "/root/repo/src/cell/stretch.cpp" "CMakeFiles/bristle.dir/src/cell/stretch.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/cell/stretch.cpp.o.d"
+  "/root/repo/src/core/batch.cpp" "CMakeFiles/bristle.dir/src/core/batch.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/core/batch.cpp.o.d"
+  "/root/repo/src/core/chip.cpp" "CMakeFiles/bristle.dir/src/core/chip.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/core/chip.cpp.o.d"
+  "/root/repo/src/core/compiler.cpp" "CMakeFiles/bristle.dir/src/core/compiler.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/core/compiler.cpp.o.d"
+  "/root/repo/src/core/pass1_core.cpp" "CMakeFiles/bristle.dir/src/core/pass1_core.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/core/pass1_core.cpp.o.d"
+  "/root/repo/src/core/pass2_control.cpp" "CMakeFiles/bristle.dir/src/core/pass2_control.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/core/pass2_control.cpp.o.d"
+  "/root/repo/src/core/pass2_tapes.cpp" "CMakeFiles/bristle.dir/src/core/pass2_tapes.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/core/pass2_tapes.cpp.o.d"
+  "/root/repo/src/core/pass3_pads.cpp" "CMakeFiles/bristle.dir/src/core/pass3_pads.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/core/pass3_pads.cpp.o.d"
+  "/root/repo/src/core/pla.cpp" "CMakeFiles/bristle.dir/src/core/pla.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/core/pla.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "CMakeFiles/bristle.dir/src/core/session.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/core/session.cpp.o.d"
+  "/root/repo/src/drc/drc.cpp" "CMakeFiles/bristle.dir/src/drc/drc.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/drc/drc.cpp.o.d"
+  "/root/repo/src/elements/alu.cpp" "CMakeFiles/bristle.dir/src/elements/alu.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/alu.cpp.o.d"
+  "/root/repo/src/elements/busparts.cpp" "CMakeFiles/bristle.dir/src/elements/busparts.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/busparts.cpp.o.d"
+  "/root/repo/src/elements/constant.cpp" "CMakeFiles/bristle.dir/src/elements/constant.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/constant.cpp.o.d"
+  "/root/repo/src/elements/control_buffer.cpp" "CMakeFiles/bristle.dir/src/elements/control_buffer.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/control_buffer.cpp.o.d"
+  "/root/repo/src/elements/element.cpp" "CMakeFiles/bristle.dir/src/elements/element.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/element.cpp.o.d"
+  "/root/repo/src/elements/pads.cpp" "CMakeFiles/bristle.dir/src/elements/pads.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/pads.cpp.o.d"
+  "/root/repo/src/elements/ports.cpp" "CMakeFiles/bristle.dir/src/elements/ports.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/ports.cpp.o.d"
+  "/root/repo/src/elements/regfile.cpp" "CMakeFiles/bristle.dir/src/elements/regfile.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/regfile.cpp.o.d"
+  "/root/repo/src/elements/register.cpp" "CMakeFiles/bristle.dir/src/elements/register.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/register.cpp.o.d"
+  "/root/repo/src/elements/shifter.cpp" "CMakeFiles/bristle.dir/src/elements/shifter.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/shifter.cpp.o.d"
+  "/root/repo/src/elements/slicekit.cpp" "CMakeFiles/bristle.dir/src/elements/slicekit.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/elements/slicekit.cpp.o.d"
+  "/root/repo/src/extract/extract.cpp" "CMakeFiles/bristle.dir/src/extract/extract.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/extract/extract.cpp.o.d"
+  "/root/repo/src/geom/geometry.cpp" "CMakeFiles/bristle.dir/src/geom/geometry.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/geom/geometry.cpp.o.d"
+  "/root/repo/src/geom/rect_index.cpp" "CMakeFiles/bristle.dir/src/geom/rect_index.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/geom/rect_index.cpp.o.d"
+  "/root/repo/src/geom/sweep.cpp" "CMakeFiles/bristle.dir/src/geom/sweep.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/geom/sweep.cpp.o.d"
+  "/root/repo/src/geom/transform.cpp" "CMakeFiles/bristle.dir/src/geom/transform.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/geom/transform.cpp.o.d"
+  "/root/repo/src/icl/ast.cpp" "CMakeFiles/bristle.dir/src/icl/ast.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/icl/ast.cpp.o.d"
+  "/root/repo/src/icl/diagnostics.cpp" "CMakeFiles/bristle.dir/src/icl/diagnostics.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/icl/diagnostics.cpp.o.d"
+  "/root/repo/src/icl/eval.cpp" "CMakeFiles/bristle.dir/src/icl/eval.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/icl/eval.cpp.o.d"
+  "/root/repo/src/icl/lexer.cpp" "CMakeFiles/bristle.dir/src/icl/lexer.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/icl/lexer.cpp.o.d"
+  "/root/repo/src/icl/parser.cpp" "CMakeFiles/bristle.dir/src/icl/parser.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/icl/parser.cpp.o.d"
+  "/root/repo/src/layout/cif.cpp" "CMakeFiles/bristle.dir/src/layout/cif.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/layout/cif.cpp.o.d"
+  "/root/repo/src/layout/cif_parser.cpp" "CMakeFiles/bristle.dir/src/layout/cif_parser.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/layout/cif_parser.cpp.o.d"
+  "/root/repo/src/layout/gds.cpp" "CMakeFiles/bristle.dir/src/layout/gds.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/layout/gds.cpp.o.d"
+  "/root/repo/src/layout/svg.cpp" "CMakeFiles/bristle.dir/src/layout/svg.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/layout/svg.cpp.o.d"
+  "/root/repo/src/layout/view.cpp" "CMakeFiles/bristle.dir/src/layout/view.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/layout/view.cpp.o.d"
+  "/root/repo/src/netlist/logic.cpp" "CMakeFiles/bristle.dir/src/netlist/logic.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/netlist/logic.cpp.o.d"
+  "/root/repo/src/netlist/spice.cpp" "CMakeFiles/bristle.dir/src/netlist/spice.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/netlist/spice.cpp.o.d"
+  "/root/repo/src/netlist/transistor.cpp" "CMakeFiles/bristle.dir/src/netlist/transistor.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/netlist/transistor.cpp.o.d"
+  "/root/repo/src/reps/blockrep.cpp" "CMakeFiles/bristle.dir/src/reps/blockrep.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/reps/blockrep.cpp.o.d"
+  "/root/repo/src/reps/emitter.cpp" "CMakeFiles/bristle.dir/src/reps/emitter.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/reps/emitter.cpp.o.d"
+  "/root/repo/src/reps/reps.cpp" "CMakeFiles/bristle.dir/src/reps/reps.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/reps/reps.cpp.o.d"
+  "/root/repo/src/reps/sticks.cpp" "CMakeFiles/bristle.dir/src/reps/sticks.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/reps/sticks.cpp.o.d"
+  "/root/repo/src/reps/textrep.cpp" "CMakeFiles/bristle.dir/src/reps/textrep.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/reps/textrep.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "CMakeFiles/bristle.dir/src/sim/clock.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/signal.cpp" "CMakeFiles/bristle.dir/src/sim/signal.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/sim/signal.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/bristle.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/testbench.cpp" "CMakeFiles/bristle.dir/src/sim/testbench.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/sim/testbench.cpp.o.d"
+  "/root/repo/src/tech/layers.cpp" "CMakeFiles/bristle.dir/src/tech/layers.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/tech/layers.cpp.o.d"
+  "/root/repo/src/tech/rules.cpp" "CMakeFiles/bristle.dir/src/tech/rules.cpp.o" "gcc" "CMakeFiles/bristle.dir/src/tech/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

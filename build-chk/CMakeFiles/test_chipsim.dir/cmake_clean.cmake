@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chipsim.dir/tests/test_chipsim.cpp.o"
+  "CMakeFiles/test_chipsim.dir/tests/test_chipsim.cpp.o.d"
+  "test_chipsim"
+  "test_chipsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chipsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

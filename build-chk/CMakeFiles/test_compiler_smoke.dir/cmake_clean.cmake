@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_smoke.dir/tests/test_compiler_smoke.cpp.o"
+  "CMakeFiles/test_compiler_smoke.dir/tests/test_compiler_smoke.cpp.o.d"
+  "test_compiler_smoke"
+  "test_compiler_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elements.dir/tests/test_elements.cpp.o"
+  "CMakeFiles/test_elements.dir/tests/test_elements.cpp.o.d"
+  "test_elements"
+  "test_elements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_icl.dir/tests/test_icl.cpp.o"
+  "CMakeFiles/test_icl.dir/tests/test_icl.cpp.o.d"
+  "test_icl"
+  "test_icl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_icl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pass1.dir/tests/test_pass1.cpp.o"
+  "CMakeFiles/test_pass1.dir/tests/test_pass1.cpp.o.d"
+  "test_pass1"
+  "test_pass1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pass1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

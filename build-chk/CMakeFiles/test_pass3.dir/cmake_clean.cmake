@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pass3.dir/tests/test_pass3.cpp.o"
+  "CMakeFiles/test_pass3.dir/tests/test_pass3.cpp.o.d"
+  "test_pass3"
+  "test_pass3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pass3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

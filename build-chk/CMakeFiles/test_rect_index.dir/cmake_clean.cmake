@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rect_index.dir/tests/test_rect_index.cpp.o"
+  "CMakeFiles/test_rect_index.dir/tests/test_rect_index.cpp.o.d"
+  "test_rect_index"
+  "test_rect_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rect_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

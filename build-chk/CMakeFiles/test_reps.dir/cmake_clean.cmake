@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reps.dir/tests/test_reps.cpp.o"
+  "CMakeFiles/test_reps.dir/tests/test_reps.cpp.o.d"
+  "test_reps"
+  "test_reps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

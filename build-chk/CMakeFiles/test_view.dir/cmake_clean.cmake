@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_view.dir/tests/test_view.cpp.o"
+  "CMakeFiles/test_view.dir/tests/test_view.cpp.o.d"
+  "test_view"
+  "test_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
