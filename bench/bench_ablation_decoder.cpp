@@ -14,7 +14,7 @@ void printTable() {
               "terms-raw", "area-opt", "area-raw", "saving");
   struct Row {
     const char* name;
-    std::string src;
+    bb::icl::ChipDesc desc;
   };
   const Row rows[] = {
       {"small8", core::samples::smallChip(8)},
@@ -24,10 +24,10 @@ void printTable() {
   const auto& g = core::plaGeometry();
   for (const Row& r : rows) {
     core::CompileOptions on;
-    auto optimized = bench::compile(r.src, on);
+    auto optimized = bench::compile(r.desc, on);
     core::CompileOptions off;
     off.pass2.optimizeDecoder = false;
-    auto raw = bench::compile(r.src, off);
+    auto raw = bench::compile(r.desc, off);
     const double aOpt = bench::lambda2(optimized->pla.areaEstimate(g.colW, g.rowH));
     const double aRaw = bench::lambda2(raw->pla.areaEstimate(g.colW, g.rowH));
     std::printf("%-12s %10zu %10zu %10zu %12.0f %12.0f %7.1f%%\n", r.name,

@@ -7,8 +7,6 @@
 #include "baseline/handlayout.hpp"
 #include "bench_util.hpp"
 
-#include "icl/parser.hpp"
-
 using namespace bb;
 
 namespace {
@@ -19,7 +17,7 @@ void printTable() {
               "channels", "delta");
   struct Row {
     const char* name;
-    std::string src;
+    bb::icl::ChipDesc desc;
   };
   const Row rows[] = {
       {"small4", core::samples::smallChip(4)},
@@ -28,11 +26,10 @@ void printTable() {
       {"large16", core::samples::largeChip(16, 8)},
   };
   for (const Row& r : rows) {
-    auto chip = bench::compile(r.src);
+    auto chip = bench::compile(r.desc);
     icl::DiagnosticList diags;
-    auto desc = icl::parseChip(r.src, diags);
     cell::CellLibrary lib;
-    const auto routed = baseline::buildRoutedCore(*desc, {}, lib, diags);
+    const auto routed = baseline::buildRoutedCore(r.desc, {}, lib, diags);
     if (!routed.ok) {
       std::printf("%-12s routed baseline failed: %s\n", r.name, routed.error.c_str());
       continue;
@@ -46,21 +43,20 @@ void printTable() {
 }
 
 void BM_StretchedCore(benchmark::State& state) {
-  const std::string src = core::samples::smallChip(8);
+  const icl::ChipDesc desc = core::samples::smallChip(8);
   for (auto _ : state) {
-    auto chip = bench::compile(src);
+    auto chip = bench::compile(desc);
     benchmark::DoNotOptimize(chip->stats.coreArea);
   }
 }
 BENCHMARK(BM_StretchedCore);
 
 void BM_RoutedCore(benchmark::State& state) {
-  icl::DiagnosticList diags;
-  auto desc = icl::parseChip(core::samples::smallChip(8), diags);
+  const icl::ChipDesc desc = core::samples::smallChip(8);
   for (auto _ : state) {
     cell::CellLibrary lib;
     icl::DiagnosticList d;
-    auto routed = baseline::buildRoutedCore(*desc, {}, lib, d);
+    auto routed = baseline::buildRoutedCore(desc, {}, lib, d);
     benchmark::DoNotOptimize(routed.area);
   }
 }

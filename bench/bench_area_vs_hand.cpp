@@ -18,7 +18,7 @@ void printTable() {
   std::printf("%-12s %14s %14s %8s\n", "chip", "compiled L^2", "ideal-hand L^2", "ratio");
   struct Row {
     const char* name;
-    std::string src;
+    bb::icl::ChipDesc desc;
   };
   const Row rows[] = {
       {"small4", core::samples::smallChip(4)},
@@ -30,7 +30,7 @@ void printTable() {
   };
   double worst = 0;
   for (const Row& r : rows) {
-    auto chip = bench::compile(r.src);
+    auto chip = bench::compile(r.desc);
     const double compiled = bench::lambda2(chip->stats.coreArea);
     const double hand = bench::lambda2(baseline::idealHandCoreArea(*chip));
     const double ratio = compiled / hand;
@@ -44,9 +44,9 @@ void printTable() {
 }
 
 void BM_CompiledCoreArea(benchmark::State& state) {
-  const std::string src = core::samples::largeChip(static_cast<int>(state.range(0)), 8);
+  const icl::ChipDesc desc = core::samples::largeChip(static_cast<int>(state.range(0)), 8);
   for (auto _ : state) {
-    auto chip = bench::compile(src);
+    auto chip = bench::compile(desc);
     benchmark::DoNotOptimize(chip->stats.coreArea);
   }
 }

@@ -1,15 +1,22 @@
 /// BATCH — throughput of the concurrent BatchCompiler: chips/sec at
 /// 1/4/8 worker threads against a sequential CompileSession loop over
-/// the same job mix. The pipeline shares nothing mutable between
+/// the same job mix, for both frontends: ICL source (every job parses)
+/// and pre-built `icl::ChipDesc` jobs (the parse stage is skipped, the
+/// ChipBuilder/typed path). The pipeline shares nothing mutable between
 /// sessions, so the batch should scale with cores until memory
 /// bandwidth takes over (on a single-core box the table degenerates to
 /// "no speedup", which is itself the interesting datum).
+///
+/// Env knobs: BB_BENCH_SMOKE=1 caps the job mix for CI (and skips the
+/// google-benchmark timings). Perf rows land in BENCH.json as
+/// `batch_src_t{N}` / `batch_desc_t{N}`.
 
 #include "bench_util.hpp"
 
 #include "core/batch.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -17,14 +24,21 @@ using namespace bb;
 
 namespace {
 
-std::vector<std::string> jobMix(int copies) {
-  std::vector<std::string> sources;
+std::vector<icl::ChipDesc> descMix(int copies) {
+  std::vector<icl::ChipDesc> descs;
   for (int i = 0; i < copies; ++i) {
-    sources.push_back(core::samples::smallChip(4));
-    sources.push_back(core::samples::smallChip(8));
-    sources.push_back(core::samples::segmentedChip(8));
-    sources.push_back(core::samples::largeChip(16, 8));
+    descs.push_back(core::samples::smallChip(4));
+    descs.push_back(core::samples::smallChip(8));
+    descs.push_back(core::samples::segmentedChip(8));
+    descs.push_back(core::samples::largeChip(16, 8));
   }
+  return descs;
+}
+
+std::vector<std::string> sourcesOf(const std::vector<icl::ChipDesc>& descs) {
+  std::vector<std::string> sources;
+  sources.reserve(descs.size());
+  for (const icl::ChipDesc& d : descs) sources.push_back(d.toString());
   return sources;
 }
 
@@ -38,10 +52,11 @@ double sequentialSeconds(const std::vector<std::string>& sources) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-double batchSeconds(const std::vector<std::string>& sources, unsigned threads) {
+template <typename Jobs>
+double batchSeconds(const Jobs& jobs, unsigned threads) {
   const core::BatchCompiler batch({}, threads);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = batch.compileAll(sources);
+  const auto results = batch.compileAll(jobs);
   const double s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   for (const core::BatchResult& r : results) {
@@ -50,26 +65,36 @@ double batchSeconds(const std::vector<std::string>& sources, unsigned threads) {
   return s;
 }
 
-void printTable() {
-  const std::vector<std::string> sources = jobMix(6);
-  const double n = static_cast<double>(sources.size());
+void printTable(bool smoke) {
+  const std::vector<icl::ChipDesc> descs = descMix(smoke ? 2 : 6);
+  const std::vector<std::string> sources = sourcesOf(descs);
+  const auto jobs = static_cast<long long>(descs.size());
+  const double n = static_cast<double>(jobs);
 
-  std::printf("== BATCH: chips/sec through the staged pipeline (%zu jobs) ==\n",
-              sources.size());
-  std::printf("%-24s %10s %12s %10s\n", "configuration", "seconds", "chips/sec",
+  std::printf("== BATCH: chips/sec through the staged pipeline (%lld jobs) ==\n", jobs);
+  std::printf("%-28s %10s %12s %10s\n", "configuration", "seconds", "chips/sec",
               "speedup");
   const double tSeq = sequentialSeconds(sources);
-  std::printf("%-24s %10.3f %12.1f %9.2fx\n", "sequential session", tSeq, n / tSeq, 1.0);
+  std::printf("%-28s %10.3f %12.1f %9.2fx\n", "sequential session", tSeq, n / tSeq, 1.0);
   for (const unsigned threads : {1u, 4u, 8u}) {
-    const double t = batchSeconds(sources, threads);
-    std::printf("batch, %2u thread%s       %10.3f %12.1f %9.2fx\n", threads,
-                threads == 1 ? " " : "s", t, n / t, tSeq / t);
+    // Source jobs: every worker parses its chip before compiling.
+    const double tSrc = batchSeconds(sources, threads);
+    std::printf("batch src,  %2u thread%s      %10.3f %12.1f %9.2fx\n", threads,
+                threads == 1 ? " " : "s", tSrc, n / tSrc, tSeq / tSrc);
+    bench::BenchJson::instance().recordRun("batch_src_t" + std::to_string(threads),
+                                           jobs, tSrc);
+    // Pre-built descriptions: the parse stage is skipped entirely.
+    const double tDesc = batchSeconds(descs, threads);
+    std::printf("batch desc, %2u thread%s      %10.3f %12.1f %9.2fx\n", threads,
+                threads == 1 ? " " : "s", tDesc, n / tDesc, tSeq / tDesc);
+    bench::BenchJson::instance().recordRun("batch_desc_t" + std::to_string(threads),
+                                           jobs, tDesc);
   }
   std::printf("(hardware concurrency: %u)\n\n", std::thread::hardware_concurrency());
 }
 
 void BM_SequentialCompile(benchmark::State& state) {
-  const std::vector<std::string> sources = jobMix(1);
+  const std::vector<std::string> sources = sourcesOf(descMix(1));
   for (auto _ : state) {
     for (const std::string& src : sources) {
       auto result = core::CompileSession(src).run();
@@ -82,7 +107,7 @@ void BM_SequentialCompile(benchmark::State& state) {
 BENCHMARK(BM_SequentialCompile)->Unit(benchmark::kMillisecond);
 
 void BM_BatchCompile(benchmark::State& state) {
-  const std::vector<std::string> sources = jobMix(1);
+  const std::vector<std::string> sources = sourcesOf(descMix(1));
   const core::BatchCompiler batch({}, static_cast<unsigned>(state.range(0)));
   for (auto _ : state) {
     const auto results = batch.compileAll(sources);
@@ -93,10 +118,28 @@ void BM_BatchCompile(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchCompile)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+void BM_BatchCompileDesc(benchmark::State& state) {
+  const std::vector<icl::ChipDesc> descs = descMix(1);
+  const core::BatchCompiler batch({}, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    const auto results = batch.compileAll(descs);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(descs.size()));
+}
+BENCHMARK(BM_BatchCompileDesc)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  printTable();
+  const bool smoke = std::getenv("BB_BENCH_SMOKE") != nullptr;
+  printTable(smoke);
+  if (!bench::BenchJson::instance().write()) {
+    std::fprintf(stderr, "FATAL: failed to land perf rows in BENCH.json (cause above)\n");
+    return 1;
+  }
+  if (smoke) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

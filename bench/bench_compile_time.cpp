@@ -18,10 +18,10 @@ using namespace bb;
 
 namespace {
 
-double fullCompileSeconds(const std::string& src, int iters = 5) {
+double fullCompileSeconds(const icl::ChipDesc& desc, int iters = 5) {
   const auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < iters; ++i) {
-    auto chip = bench::compile(src);
+    auto chip = bench::compile(desc);
     const reps::RepresentationSet rs = reps::generateAll(*chip);
     benchmark::DoNotOptimize(rs.cif.size());
   }
@@ -68,9 +68,9 @@ void printTable() {
 }
 
 void BM_FullCompileSmall(benchmark::State& state) {
-  const std::string src = core::samples::smallChip(4);
+  const icl::ChipDesc desc = core::samples::smallChip(4);
   for (auto _ : state) {
-    auto chip = bench::compile(src);
+    auto chip = bench::compile(desc);
     const reps::RepresentationSet rs = reps::generateAll(*chip);
     benchmark::DoNotOptimize(rs.cif.size());
   }
@@ -78,9 +78,9 @@ void BM_FullCompileSmall(benchmark::State& state) {
 BENCHMARK(BM_FullCompileSmall);
 
 void BM_FullCompileLarge(benchmark::State& state) {
-  const std::string src = core::samples::largeChip(16, 8);
+  const icl::ChipDesc desc = core::samples::largeChip(16, 8);
   for (auto _ : state) {
-    auto chip = bench::compile(src);
+    auto chip = bench::compile(desc);
     const reps::RepresentationSet rs = reps::generateAll(*chip);
     benchmark::DoNotOptimize(rs.cif.size());
   }

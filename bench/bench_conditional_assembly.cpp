@@ -37,9 +37,9 @@ void printTable() {
 void BM_CompileProto(benchmark::State& state) {
   core::CompileOptions opts;
   opts.vars["PROTOTYPE"] = state.range(0) != 0;
-  const std::string src = core::samples::prototypeChip();
+  const icl::ChipDesc desc = core::samples::prototypeChip();
   for (auto _ : state) {
-    auto chip = bench::compile(src, opts);
+    auto chip = bench::compile(desc, opts);
     benchmark::DoNotOptimize(chip->stats.padCount);
   }
 }

@@ -15,7 +15,7 @@ void printTable() {
               "core", "decoder", "pad ring", "die", "pads");
   struct Row {
     const char* name;
-    std::string src;
+    bb::icl::ChipDesc desc;
   };
   const Row rows[] = {
       {"small4", core::samples::smallChip(4)},
@@ -25,7 +25,7 @@ void printTable() {
       {"large16", core::samples::largeChip(16, 8)},
   };
   for (const Row& r : rows) {
-    auto chip = bench::compile(r.src);
+    auto chip = bench::compile(r.desc);
     std::printf("%-10s %6d %8zu %12.0f %12.0f %12.0f %12.0f %6zu\n", r.name,
                 chip->desc.dataWidth, chip->placed.size(),
                 bench::lambda2(chip->stats.coreArea), bench::lambda2(chip->stats.decoderArea),
@@ -41,9 +41,9 @@ void printTable() {
 }
 
 void BM_AssembleSmall(benchmark::State& state) {
-  const std::string src = core::samples::smallChip(static_cast<int>(state.range(0)));
+  const icl::ChipDesc desc = core::samples::smallChip(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    auto chip = bench::compile(src);
+    auto chip = bench::compile(desc);
     benchmark::DoNotOptimize(chip->stats.dieArea);
   }
 }

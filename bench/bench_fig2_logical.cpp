@@ -15,7 +15,7 @@ void printTable() {
               "precharge", "controls", "phi1-ctl", "phi2-ctl");
   struct Row {
     const char* name;
-    std::string src;
+    bb::icl::ChipDesc desc;
   };
   const Row rows[] = {
       {"small8", core::samples::smallChip(8)},
@@ -23,7 +23,7 @@ void printTable() {
       {"large16", core::samples::largeChip(16, 8)},
   };
   for (const Row& r : rows) {
-    auto chip = bench::compile(r.src);
+    auto chip = bench::compile(r.desc);
     std::size_t p1 = 0, p2 = 0;
     for (const auto& cl : chip->controls) {
       (cl.phase == 1 ? p1 : p2) += 1;
@@ -37,9 +37,9 @@ void printTable() {
 }
 
 void BM_CompileSegmented(benchmark::State& state) {
-  const std::string src = core::samples::segmentedChip(static_cast<int>(state.range(0)));
+  const icl::ChipDesc desc = core::samples::segmentedChip(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    auto chip = bench::compile(src);
+    auto chip = bench::compile(desc);
     benchmark::DoNotOptimize(chip->stats.busSegments[1]);
   }
 }

@@ -6,27 +6,29 @@
 
 #include "bench_util.hpp"
 
-#include "icl/parser.hpp"
-
 using namespace bb;
 
 namespace {
 
-std::string chipFor(int width, int nregs, bool twoBuses, bool segmented) {
-  std::string src = "chip sweep;\nmicrocode width 12 { field op [0:3]; field sel [4:7]; "
-                    "field misc [8:11]; }\ndata width " +
-                    std::to_string(width) + ";\nbuses A" +
-                    (twoBuses ? std::string(", B") : std::string()) + ";\ncore {\n";
-  const char* outBus = twoBuses ? "B" : "A";
-  src += "  inport IN (bus = A, drive = \"op==1\");\n";
+icl::ChipDesc chipFor(int width, int nregs, bool twoBuses, bool segmented) {
+  using namespace bb::icl;
+  const std::string outBus = twoBuses ? "B" : "A";
+  ChipBuilder b("sweep");
+  b.microcode(12, {field("op", 0, 3), field("sel", 4, 7), field("misc", 8, 11)})
+      .dataWidth(width)
+      .bus("A");
+  if (twoBuses) b.bus("B");
+  b.element("inport", "IN", {{"bus", sym("A")}, {"drive", expr("op==1")}});
   for (int r = 0; r < nregs; ++r) {
-    src += "  register R" + std::to_string(r) + " (in = A, out = " + outBus +
-           ", load = \"op==2 & sel==" + std::to_string(r) + "\", drive = \"op==3 & sel==" +
-           std::to_string(r) + "\");\n";
+    b.element("register", "R" + std::to_string(r),
+              {{"in", sym("A")},
+               {"out", sym(outBus)},
+               {"load", expr("op==2 & sel==" + std::to_string(r))},
+               {"drive", expr("op==3 & sel==" + std::to_string(r))}});
   }
-  if (segmented) src += "  busstop BS (bus = A);\n";
-  src += "  outport OUT (bus = " + std::string(outBus) + ", sample = \"op==4\");\n}\n";
-  return src;
+  if (segmented) b.element("busstop", "BS", {{"bus", sym("A")}});
+  b.element("outport", "OUT", {{"bus", sym(outBus)}, {"sample", expr("op==4")}});
+  return b.buildOrDie();
 }
 
 void printTable() {
@@ -55,9 +57,9 @@ void printTable() {
 }
 
 void BM_SweepPoint(benchmark::State& state) {
-  const std::string src = chipFor(static_cast<int>(state.range(0)), 4, true, false);
+  const icl::ChipDesc desc = chipFor(static_cast<int>(state.range(0)), 4, true, false);
   for (auto _ : state) {
-    auto chip = bench::compile(src);
+    auto chip = bench::compile(desc);
     benchmark::DoNotOptimize(chip->stats.dieArea);
   }
 }

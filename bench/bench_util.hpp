@@ -148,6 +148,18 @@ inline std::unique_ptr<core::CompiledChip> compile(const std::string& src,
   return std::move(*result);
 }
 
+/// Typed-description frontend: no parse stage, same pipeline.
+inline std::unique_ptr<core::CompiledChip> compile(const icl::ChipDesc& desc,
+                                                   core::CompileOptions opts = {}) {
+  auto result = core::compileChip(desc, std::move(opts));
+  if (!result) {
+    std::fprintf(stderr, "bench compile failed:\n%s\n",
+                 result.diagnostics().toString().c_str());
+    std::abort();
+  }
+  return std::move(*result);
+}
+
 inline double lambda2(geom::Coord area) {
   return static_cast<double>(area) /
          (geom::kUnitsPerLambda * geom::kUnitsPerLambda);

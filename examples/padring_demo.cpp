@@ -36,11 +36,11 @@ void renderRing(const bb::core::CompiledChip& chip, const std::string& path) {
 
 int main(int argc, char** argv) {
   const std::string outDir = argc > 1 ? argv[1] : ".";
-  const std::string src = bb::core::samples::smallChip(8);
+  const bb::icl::ChipDesc desc = bb::core::samples::smallChip(8);
 
   auto naiveResult = bb::core::compileChip(
-      src, bb::core::CompileOptions::builder().rotoRouter(false).build());
-  auto rotoResult = bb::core::compileChip(src);
+      desc, bb::core::CompileOptions::builder().rotoRouter(false).build());
+  auto rotoResult = bb::core::compileChip(desc);
   if (!naiveResult || !rotoResult) {
     std::fprintf(stderr, "compile failed:\n%s%s",
                  naiveResult.diagnostics().toString().c_str(),

@@ -2,16 +2,23 @@
 /// experience the paper promises ("What if a person were able to sit
 /// down and design a complete chip in a single afternoon?").
 ///
-///   1. write a one-page chip description,
-///   2. open a CompileSession and run the staged pipeline
-///      (parse -> vote -> pass1 -> pass2 -> pass3 -> finalize),
-///      watching each stage through a PassObserver,
+///   1. build a chip description in code with the fluent ChipBuilder —
+///      microcode format, data/bus section, core element list — and get
+///      a validated, typed icl::ChipDesc (no source text, no parsing;
+///      the ICL language remains available as a second frontend via
+///      parseChip, and desc.toString() renders this same description
+///      as one page of it),
+///   2. open a CompileSession on the description and run the staged
+///      pipeline (parse -> vote -> pass1 -> pass2 -> pass3 -> finalize;
+///      parse is a no-op for a typed description), watching each stage
+///      through a PassObserver,
 ///   3. emit the mask set and every other artifact through the
 ///      unified Emitter registry — each backend discoverable by name.
 ///
 /// Run from the build tree:  ./quickstart [output-dir]
 
 #include "core/session.hpp"
+#include "icl/builder.hpp"
 #include "reps/emitter.hpp"
 
 #include <cstdio>
@@ -20,25 +27,30 @@
 
 namespace {
 
-const char* kChip = R"(
-chip afternoon;
-
-microcode width 8 {
-  field op   [0:2];
-  field misc [4:7];
+/// The "single afternoon" chip, built programmatically: two working
+/// registers and an ALU between two buses, with I/O ports. `sym` names
+/// a bus or microcode field, `expr` is a decode expression, and the
+/// element order is the placement order on the die.
+bb::icl::ChipDesc afternoonChip() {
+  using namespace bb::icl;
+  return ChipBuilder("afternoon")
+      .microcode(8, {field("op", 0, 2), field("misc", 4, 7)})
+      .dataWidth(4)
+      .buses({"A", "B"})
+      .element("inport", "IN", {{"bus", sym("A")}, {"drive", expr("op==1 | op==2")}})
+      .element("register", "R0",
+               {{"in", sym("A")}, {"out", sym("B")}, {"load", expr("op==1")},
+                {"drive", expr("op==2")}})
+      .element("alu", "ALU",
+               {{"a", sym("A")}, {"b", sym("B")}, {"out", sym("A")},
+                {"op", sym("misc")}, {"ops", syms({"add", "and", "passa"})},
+                {"load", expr("op==2")}, {"drive", expr("op==3")}})
+      .element("register", "R1",
+               {{"in", sym("A")}, {"out", sym("B")}, {"load", expr("op==3")},
+                {"drive", expr("op==4")}})
+      .element("outport", "OUT", {{"bus", sym("B")}, {"sample", expr("op==4")}})
+      .buildOrDie();
 }
-data width 4;
-buses A, B;
-
-core {
-  inport  IN  (bus = A, drive = "op==1 | op==2");
-  register R0 (in = A, out = B, load = "op==1", drive = "op==2");
-  alu     ALU (a = A, b = B, out = A, op = misc, ops = [add, and, passa],
-               load = "op==2", drive = "op==3");
-  register R1 (in = A, out = B, load = "op==3", drive = "op==4");
-  outport OUT (bus = B, sample = "op==4");
-}
-)";
 
 /// Watch the pipeline: one line per stage as it completes.
 class ProgressObserver : public bb::core::PassObserver {
@@ -56,8 +68,9 @@ class ProgressObserver : public bb::core::PassObserver {
 int main(int argc, char** argv) {
   const std::string outDir = argc > 1 ? argv[1] : ".";
 
-  // The staged pipeline, with a pass-level observer attached.
-  bb::core::CompileSession session(kChip);
+  // The staged pipeline over the typed description, with a pass-level
+  // observer attached.
+  bb::core::CompileSession session(afternoonChip());
   ProgressObserver progress;
   session.addObserver(&progress);
 

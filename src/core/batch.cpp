@@ -18,7 +18,10 @@ std::vector<BatchResult> BatchCompiler::compileAll(std::vector<BatchJob> jobs) c
     BatchJob& job = jobs[i];
     BatchResult& res = results[i];
     const auto t0 = std::chrono::steady_clock::now();
-    CompileSession session(std::move(job.source), std::move(job.opts));
+    CompileSession session =
+        job.desc.has_value()
+            ? CompileSession(std::move(*job.desc), std::move(job.opts))
+            : CompileSession(std::move(job.source), std::move(job.opts));
     auto outcome = session.run();
     res.elapsed = std::chrono::steady_clock::now() - t0;
     res.diags = outcome.diagnostics();
@@ -35,6 +38,14 @@ std::vector<BatchResult> BatchCompiler::compileAll(
   std::vector<BatchJob> jobs;
   jobs.reserve(sources.size());
   for (const std::string& src : sources) jobs.push_back({"", src, defaults_});
+  return compileAll(std::move(jobs));
+}
+
+std::vector<BatchResult> BatchCompiler::compileAll(
+    std::vector<icl::ChipDesc> descs) const {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(descs.size());
+  for (icl::ChipDesc& desc : descs) jobs.push_back({"", std::move(desc), defaults_});
   return compileAll(std::move(jobs));
 }
 

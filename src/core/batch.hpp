@@ -10,14 +10,25 @@
 #include "core/session.hpp"
 
 #include <chrono>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace bb::core {
 
 struct BatchJob {
+  BatchJob() = default;
+  /// A job over source text: the worker's session parses it.
+  BatchJob(std::string name, std::string source, CompileOptions opts = {})
+      : name(std::move(name)), source(std::move(source)), opts(std::move(opts)) {}
+  /// A job over a pre-built description (ChipBuilder, samples): the
+  /// worker's session skips the parse stage entirely.
+  BatchJob(std::string name, icl::ChipDesc desc, CompileOptions opts = {})
+      : name(std::move(name)), desc(std::move(desc)), opts(std::move(opts)) {}
+
   std::string name;    ///< label for reports; defaults to the chip's own name
-  std::string source;  ///< chip description text
+  std::string source;  ///< chip description text (ignored when `desc` is set)
+  std::optional<icl::ChipDesc> desc;  ///< pre-built description; no parse stage
   CompileOptions opts; ///< per-job options (seeded from the batch default)
 };
 
@@ -42,6 +53,11 @@ class BatchCompiler {
   /// Convenience: bare sources, batch-default options.
   [[nodiscard]] std::vector<BatchResult> compileAll(
       const std::vector<std::string>& sources) const;
+
+  /// Convenience: pre-built descriptions, batch-default options. No job
+  /// parses; this is the high-throughput path for programmatic sweeps.
+  [[nodiscard]] std::vector<BatchResult> compileAll(
+      std::vector<icl::ChipDesc> descs) const;
 
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
   [[nodiscard]] const CompileOptions& defaults() const noexcept { return defaults_; }

@@ -138,4 +138,8 @@ Expected<CompiledChipPtr> compileChip(std::string_view source, CompileOptions op
   return CompileSession(std::string(source), std::move(opts)).run();
 }
 
+Expected<CompiledChipPtr> compileChip(icl::ChipDesc desc, CompileOptions opts) {
+  return CompileSession(std::move(desc), std::move(opts)).run();
+}
+
 }  // namespace bb::core

@@ -72,8 +72,12 @@ class CompileSession {
   /// A session over source text: starts at the parse stage.
   explicit CompileSession(std::string source, CompileOptions opts = {});
 
-  /// A session over an already-parsed description: the parse stage is a
-  /// no-op that adopts `desc`.
+  /// A session over a typed description — the first-class entry point
+  /// for programmatically built chips (`icl::ChipBuilder`, the samples,
+  /// a description taken from another session). The parse stage is a
+  /// no-op that adopts `desc`; every later stage behaves identically to
+  /// the text path, so a built description and its `toString()` source
+  /// compile to the same chip.
   CompileSession(icl::ChipDesc desc, CompileOptions opts = {});
 
   CompileSession(CompileSession&&) = default;
@@ -134,6 +138,12 @@ class CompileSession {
 
 /// One-shot convenience: the whole pipeline over source text.
 [[nodiscard]] Expected<CompiledChipPtr> compileChip(std::string_view source,
+                                                    CompileOptions opts = {});
+
+/// One-shot convenience over a typed description: skips parsing
+/// entirely. `compileChip(ChipBuilder("c")....buildOrDie())` and
+/// `compileChip(desc.toString())` produce bit-identical chips.
+[[nodiscard]] Expected<CompiledChipPtr> compileChip(icl::ChipDesc desc,
                                                     CompileOptions opts = {});
 
 }  // namespace bb::core

@@ -1,0 +1,276 @@
+#include "icl/builder.hpp"
+
+#include <cstdio>
+#include <set>
+
+namespace bb::icl {
+
+ParamValue syms(std::vector<std::string> names) {
+  ParamValue::List list;
+  list.reserve(names.size());
+  for (std::string& n : names) list.push_back(sym(std::move(n)));
+  return ParamValue(std::move(list));
+}
+
+FieldDecl field(std::string name, int lo, int hi) {
+  FieldDecl f;
+  f.name = std::move(name);
+  f.lo = lo;
+  f.hi = hi;
+  return f;
+}
+
+BuildItem item(std::string kind, std::string name, ParamList params) {
+  BuildItem out;
+  ElementDecl e;
+  e.kind = std::move(kind);
+  e.name = std::move(name);
+  for (Param& p : params) {
+    // The map keeps the first occurrence; the duplication itself is
+    // recorded here, while declaration order still shows it.
+    if (!e.params.emplace(p.first, std::move(p.second)).second) {
+      out.problems.push_back("element '" + e.name + "' parameter '" + p.first +
+                             "' given twice");
+    }
+  }
+  out.node = CoreItem{std::move(e)};
+  return out;
+}
+
+namespace {
+
+/// Strip a BuildItem list into its AST nodes, collecting the problems.
+std::vector<CoreItem> takeNodes(std::vector<BuildItem>& items,
+                                std::vector<std::string>& problems) {
+  std::vector<CoreItem> nodes;
+  nodes.reserve(items.size());
+  for (BuildItem& it : items) {
+    nodes.push_back(std::move(it.node));
+    problems.insert(problems.end(), std::make_move_iterator(it.problems.begin()),
+                    std::make_move_iterator(it.problems.end()));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+BuildItem cond(std::string var, std::vector<BuildItem> thenItems,
+               std::vector<BuildItem> elseItems) {
+  BuildItem out;
+  CondBlock c;
+  c.var = std::move(var);
+  c.thenItems = takeNodes(thenItems, out.problems);
+  c.elseItems = takeNodes(elseItems, out.problems);
+  out.node = CoreItem{std::move(c)};
+  return out;
+}
+
+BuildItem condNot(std::string var, std::vector<BuildItem> thenItems,
+                  std::vector<BuildItem> elseItems) {
+  BuildItem it = cond(std::move(var), std::move(thenItems), std::move(elseItems));
+  std::get<CondBlock>(it.node.node).negate = true;
+  return it;
+}
+
+ChipBuilder::ChipBuilder(std::string name) { desc_.name = std::move(name); }
+
+ChipBuilder& ChipBuilder::var(std::string name, bool value) {
+  if (!desc_.vars.emplace(name, value).second) {
+    pending_.error({}, "variable '" + name + "' declared twice");
+  }
+  return *this;
+}
+
+ChipBuilder& ChipBuilder::microcode(int width, std::vector<FieldDecl> fields) {
+  desc_.microcode.width = width;
+  for (FieldDecl& f : fields) desc_.microcode.fields.push_back(std::move(f));
+  return *this;
+}
+
+ChipBuilder& ChipBuilder::field(std::string name, int lo, int hi) {
+  desc_.microcode.fields.push_back(icl::field(std::move(name), lo, hi));
+  return *this;
+}
+
+ChipBuilder& ChipBuilder::dataWidth(int width) {
+  desc_.dataWidth = width;
+  return *this;
+}
+
+ChipBuilder& ChipBuilder::bus(std::string name) {
+  desc_.buses.push_back(std::move(name));
+  return *this;
+}
+
+ChipBuilder& ChipBuilder::buses(std::vector<std::string> names) {
+  for (std::string& n : names) desc_.buses.push_back(std::move(n));
+  return *this;
+}
+
+ChipBuilder& ChipBuilder::element(std::string kind, std::string name, ParamList params) {
+  return add(item(std::move(kind), std::move(name), std::move(params)));
+}
+
+ChipBuilder& ChipBuilder::add(BuildItem buildItem) {
+  for (std::string& p : buildItem.problems) pending_.error({}, std::move(p));
+  desc_.core.push_back(std::move(buildItem.node));
+  return *this;
+}
+
+ChipBuilder& ChipBuilder::when(std::string var, std::vector<BuildItem> thenItems) {
+  return add(cond(std::move(var), std::move(thenItems)));
+}
+
+ChipBuilder& ChipBuilder::whenNot(std::string var, std::vector<BuildItem> thenItems) {
+  return add(condNot(std::move(var), std::move(thenItems)));
+}
+
+ChipBuilder& ChipBuilder::elseItems(std::vector<BuildItem> items) {
+  CondBlock* block = desc_.core.empty()
+                         ? nullptr
+                         : std::get_if<CondBlock>(&desc_.core.back().node);
+  if (block == nullptr) {
+    pending_.error({}, "elseItems() without a preceding when()/whenNot()");
+    return *this;
+  }
+  if (!block->elseItems.empty()) {
+    pending_.error({}, "conditional on '" + block->var + "' already has an else branch");
+    return *this;
+  }
+  std::vector<std::string> problems;
+  block->elseItems = takeNodes(items, problems);
+  for (std::string& p : problems) pending_.error({}, std::move(p));
+  return *this;
+}
+
+core::Expected<ChipDesc> ChipBuilder::build() const {
+  DiagnosticList diags = pending_;
+  const bool structureOk = !diags.hasErrors();
+  if (!validateChipDesc(desc_, diags) || !structureOk) {
+    return core::Expected<ChipDesc>::failure(std::move(diags));
+  }
+  return core::Expected<ChipDesc>(desc_, std::move(diags));
+}
+
+ChipDesc ChipBuilder::buildOrDie() const {
+  auto result = build();
+  if (!result) {
+    std::fprintf(stderr, "ChipBuilder::buildOrDie: invalid chip description:\n%s",
+                 result.diagnostics().toString().c_str());
+    std::abort();
+  }
+  return std::move(*result);
+}
+
+namespace {
+
+/// Walk one item list for element-name uniqueness. The two branches of a
+/// conditional are mutually exclusive, so the same name may appear in
+/// both; names from either branch are visible (and reserved) afterwards.
+void checkItems(const std::vector<CoreItem>& items, std::set<std::string>& names,
+                DiagnosticList& diags, bool& ok) {
+  for (const CoreItem& it : items) {
+    if (const auto* e = std::get_if<ElementDecl>(&it.node)) {
+      if (e->kind.empty()) {
+        diags.error(e->loc, "element '" + e->name + "' has an empty kind");
+        ok = false;
+      }
+      if (e->name.empty()) {
+        diags.error(e->loc, "element of kind '" + e->kind + "' has an empty name");
+        ok = false;
+      } else if (!names.insert(e->name).second) {
+        diags.error(e->loc, "duplicate element name '" + e->name + "'");
+        ok = false;
+      }
+      for (const auto& [key, value] : e->params) {
+        if (key.empty()) {
+          diags.error(e->loc, "element '" + e->name + "' has an empty parameter name");
+          ok = false;
+        }
+        (void)value;
+      }
+    } else if (const auto* c = std::get_if<CondBlock>(&it.node)) {
+      if (c->var.empty()) {
+        diags.error(c->loc, "conditional block with an empty variable name");
+        ok = false;
+      }
+      if (c->thenItems.empty() && c->elseItems.empty()) {
+        diags.warning(c->loc, "conditional on '" + c->var + "' has no items");
+      }
+      std::set<std::string> thenNames = names;
+      std::set<std::string> elseNames = names;
+      checkItems(c->thenItems, thenNames, diags, ok);
+      checkItems(c->elseItems, elseNames, diags, ok);
+      names.insert(thenNames.begin(), thenNames.end());
+      names.insert(elseNames.begin(), elseNames.end());
+    }
+  }
+}
+
+}  // namespace
+
+bool validateChipDesc(const ChipDesc& desc, DiagnosticList& diags) {
+  bool ok = true;
+  if (desc.name.empty()) {
+    diags.error({}, "chip name is empty");
+    ok = false;
+  }
+
+  const MicrocodeDecl& mc = desc.microcode;
+  if (mc.width <= 0) {
+    diags.error(mc.loc, "microcode width must be positive (got " +
+                            std::to_string(mc.width) + ")");
+    ok = false;
+  }
+  std::set<std::string> fieldNames;
+  for (const FieldDecl& f : mc.fields) {
+    if (f.name.empty()) {
+      diags.error(f.loc, "microcode field with an empty name");
+      ok = false;
+    } else if (!fieldNames.insert(f.name).second) {
+      diags.error(f.loc, "duplicate microcode field '" + f.name + "'");
+      ok = false;
+    }
+    if (f.lo < 0 || f.hi < f.lo) {
+      diags.error(f.loc, "field '" + f.name + "' has a bad bit range [" +
+                             std::to_string(f.lo) + ":" + std::to_string(f.hi) + "]");
+      ok = false;
+    } else if (mc.width > 0 && f.hi >= mc.width) {
+      diags.error(f.loc, "field '" + f.name + "' bits [" + std::to_string(f.lo) + ":" +
+                             std::to_string(f.hi) + "] exceed microcode width " +
+                             std::to_string(mc.width));
+      ok = false;
+    }
+  }
+
+  if (desc.dataWidth <= 0) {
+    diags.error({}, "data width must be positive (got " +
+                        std::to_string(desc.dataWidth) + ")");
+    ok = false;
+  }
+
+  if (desc.buses.empty()) {
+    diags.error({}, "chip declares no buses");
+    ok = false;
+  }
+  std::set<std::string> busNames;
+  for (const std::string& b : desc.buses) {
+    if (b.empty()) {
+      diags.error({}, "bus with an empty name");
+      ok = false;
+    } else if (!busNames.insert(b).second) {
+      diags.error({}, "duplicate bus '" + b + "'");
+      ok = false;
+    }
+  }
+
+  if (desc.core.empty()) {
+    diags.error({}, "chip core is empty");
+    ok = false;
+  }
+  std::set<std::string> elementNames;
+  checkItems(desc.core, elementNames, diags, ok);
+  return ok;
+}
+
+}  // namespace bb::icl

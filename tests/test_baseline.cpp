@@ -13,8 +13,10 @@ namespace bb {
 namespace {
 
 TEST(Baseline, RoutedCoreBuildsWithChannels) {
+  // Parse the rendered source here (rather than taking the typed sample
+  // directly) so the baseline keeps covering the parser frontend too.
   icl::DiagnosticList diags;
-  auto desc = icl::parseChip(core::samples::smallChip(8), diags);
+  auto desc = icl::parseChip(core::samples::smallChipSource(8), diags);
   ASSERT_TRUE(desc.has_value()) << diags.toString();
   cell::CellLibrary lib;
   const auto res = baseline::buildRoutedCore(*desc, {}, lib, diags);
@@ -35,9 +37,9 @@ TEST(Baseline, StretchedCoreBeatsRoutedCore) {
   auto chip = std::move(*compiled);
 
   icl::DiagnosticList d2;
-  auto desc = icl::parseChip(core::samples::smallChip(8), d2);
+  const icl::ChipDesc desc = core::samples::smallChip(8);
   cell::CellLibrary lib;
-  const auto routed = baseline::buildRoutedCore(*desc, {}, lib, d2);
+  const auto routed = baseline::buildRoutedCore(desc, {}, lib, d2);
   ASSERT_TRUE(routed.ok) << routed.error;
 
   EXPECT_LT(chip->stats.coreArea, routed.area)
@@ -60,11 +62,10 @@ TEST(Baseline, CompiledWithinBandOfIdealHand) {
 
 TEST(Baseline, RoutedCoreHonorsConditionalAssembly) {
   icl::DiagnosticList diags;
-  auto desc = icl::parseChip(core::samples::prototypeChip(), diags);
-  ASSERT_TRUE(desc.has_value());
+  const icl::ChipDesc desc = core::samples::prototypeChip();
   cell::CellLibrary lib1, lib2;
-  const auto proto = baseline::buildRoutedCore(*desc, {{"PROTOTYPE", true}}, lib1, diags);
-  const auto prod = baseline::buildRoutedCore(*desc, {{"PROTOTYPE", false}}, lib2, diags);
+  const auto proto = baseline::buildRoutedCore(desc, {{"PROTOTYPE", true}}, lib1, diags);
+  const auto prod = baseline::buildRoutedCore(desc, {{"PROTOTYPE", false}}, lib2, diags);
   ASSERT_TRUE(proto.ok && prod.ok);
   EXPECT_GT(proto.width, prod.width);
 }

@@ -1,17 +1,17 @@
 /// End-to-end smoke tests: the whole three-pass compiler on the sample
 /// chips, checking the invariants the paper promises.
 
-#include "core/compiler.hpp"
 #include "core/samples.hpp"
+#include "core/session.hpp"
 
 #include <gtest/gtest.h>
 
 namespace bb {
 namespace {
 
-std::unique_ptr<core::CompiledChip> compileOrDie(const std::string& src,
+std::unique_ptr<core::CompiledChip> compileOrDie(icl::ChipDesc desc,
                                                  core::CompileOptions opts = {}) {
-  auto result = core::compileChip(src, std::move(opts));
+  auto result = core::compileChip(std::move(desc), std::move(opts));
   EXPECT_TRUE(result.hasValue()) << result.diagnostics().toString();
   return result ? std::move(*result) : nullptr;
 }
@@ -92,32 +92,18 @@ TEST(CompilerSmoke, BadInputDiagnosedNotCrash) {
   EXPECT_TRUE(result.diagnostics().hasErrors());
 }
 
-// The pre-pipeline facade must keep working: it is a thin shim over
-// CompileSession and has to produce the same chip.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(CompilerSmoke, DeprecatedFacadeDelegatesToPipeline) {
-  icl::DiagnosticList diags;
-  core::Compiler c;
-  auto viaShim = c.compile(core::samples::smallChip(), diags);
-  ASSERT_NE(viaShim, nullptr) << diags.toString();
+// The two frontends must agree: a builder-made description and its
+// rendered ICL source have to produce the same chip.
+TEST(CompilerSmoke, TypedAndTextFrontendsProduceTheSameChip) {
+  auto viaText = core::compileChip(core::samples::smallChipSource());
+  ASSERT_TRUE(viaText.hasValue()) << viaText.diagnostics().toString();
 
-  auto viaSession = compileOrDie(core::samples::smallChip());
-  ASSERT_NE(viaSession, nullptr);
-  EXPECT_EQ(viaShim->stats.dieArea, viaSession->stats.dieArea);
-  EXPECT_EQ(viaShim->stats.padCount, viaSession->stats.padCount);
-  EXPECT_EQ(viaShim->stats.shapeCount, viaSession->stats.shapeCount);
-
-  // Failure path still reports through the out-param list.
-  icl::DiagnosticList bad;
-  EXPECT_EQ(c.compile("chip broken; data width 8;", bad), nullptr);
-  EXPECT_TRUE(bad.hasErrors());
+  auto viaDesc = compileOrDie(core::samples::smallChip());
+  ASSERT_NE(viaDesc, nullptr);
+  EXPECT_EQ((*viaText)->stats.dieArea, viaDesc->stats.dieArea);
+  EXPECT_EQ((*viaText)->stats.padCount, viaDesc->stats.padCount);
+  EXPECT_EQ((*viaText)->stats.shapeCount, viaDesc->stats.shapeCount);
 }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace
 }  // namespace bb

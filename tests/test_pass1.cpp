@@ -14,9 +14,9 @@ namespace {
 
 using elements::lam;
 
-std::unique_ptr<core::CompiledChip> compileOk(const std::string& src,
+std::unique_ptr<core::CompiledChip> compileOk(icl::ChipDesc desc,
                                               core::CompileOptions opts = {}) {
-  auto result = core::compileChip(src, std::move(opts));
+  auto result = core::compileChip(std::move(desc), std::move(opts));
   EXPECT_TRUE(result) << result.diagnostics().toString();
   return result ? std::move(*result) : nullptr;
 }

@@ -164,10 +164,10 @@ TEST(DrcEquivalence, RandomLayerSoup) {
 }
 
 TEST(DrcEquivalence, SampleChipCells) {
-  for (const std::string& src :
+  for (const icl::ChipDesc& desc :
        {core::samples::smallChip(4), core::samples::segmentedChip(4),
         core::samples::prototypeChip()}) {
-    auto compiled = core::compileChip(src);
+    auto compiled = core::compileChip(desc);
     ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
     for (const cell::Cell* c : (*compiled)->lib.all()) {
       expectDrcEquivalent(cell::flatten(*c), c->boundary());
@@ -193,9 +193,9 @@ void expectExtractEquivalent(const cell::Cell& c) {
 }
 
 TEST(ExtractEquivalence, SampleChipCells) {
-  for (const std::string& src :
+  for (const icl::ChipDesc& desc :
        {core::samples::smallChip(4), core::samples::segmentedChip(4)}) {
-    auto compiled = core::compileChip(src);
+    auto compiled = core::compileChip(desc);
     ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
     for (const cell::Cell* c : (*compiled)->lib.all()) {
       expectExtractEquivalent(*c);

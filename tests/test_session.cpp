@@ -152,7 +152,7 @@ core {
 
 TEST(Session, FromParsedDescription) {
   icl::DiagnosticList diags;
-  auto desc = icl::parseChip(core::samples::smallChip(4), diags);
+  auto desc = icl::parseChip(core::samples::smallChipSource(4), diags);
   ASSERT_TRUE(desc.has_value()) << diags.toString();
 
   core::CompileSession session(*desc);
@@ -256,16 +256,17 @@ TEST(Emitters, EmitByNameAndShadowing) {
 }
 
 TEST(Batch, CompilesManyChipsConcurrently) {
-  std::vector<std::string> sources;
+  std::vector<icl::ChipDesc> descs;
   for (int width : {2, 4, 8}) {
-    sources.push_back(core::samples::smallChip(width));
-    sources.push_back(core::samples::segmentedChip(width));
+    descs.push_back(core::samples::smallChip(width));
+    descs.push_back(core::samples::segmentedChip(width));
   }
+  const std::size_t jobCount = descs.size();
 
   const core::BatchCompiler batch({}, 4);
   EXPECT_EQ(batch.threads(), 4u);
-  const std::vector<core::BatchResult> results = batch.compileAll(sources);
-  ASSERT_EQ(results.size(), sources.size());
+  const std::vector<core::BatchResult> results = batch.compileAll(std::move(descs));
+  ASSERT_EQ(results.size(), jobCount);
   for (std::size_t i = 0; i < results.size(); ++i) {
     ASSERT_TRUE(results[i].ok()) << i << ": " << results[i].diags.toString();
     EXPECT_GT(results[i].chip->stats.dieArea, 0) << i;
@@ -275,10 +276,14 @@ TEST(Batch, CompilesManyChipsConcurrently) {
   EXPECT_EQ(results[0].name, "small");
   EXPECT_EQ(results[1].name, "segmented");
 
-  // Concurrent compiles match a sequential reference.
-  auto ref = core::compileChip(sources[0]);
+  // Concurrent compiles match a sequential reference, which itself
+  // matches the string frontend over the same description.
+  auto ref = core::compileChip(core::samples::smallChip(2));
   ASSERT_TRUE(ref);
   EXPECT_EQ(results[0].chip->stats.dieArea, (*ref)->stats.dieArea);
+  auto refText = core::compileChip(core::samples::smallChipSource(2));
+  ASSERT_TRUE(refText);
+  EXPECT_EQ(results[0].chip->stats.dieArea, (*refText)->stats.dieArea);
 }
 
 TEST(Batch, FailedJobCarriesDiagnosticsWithoutAbortingTheBatch) {

@@ -556,7 +556,7 @@ TEST_F(EmitterWindowing, CustomEmitterWithoutOverrideFallsBack) {
 TEST(SessionStreaming, ViewportEmissionFromCompileSessionResult) {
   // The advertised workflow: drive the staged pipeline, then stream a
   // viewport of the result through any registered emitter.
-  core::CompileSession session{std::string(core::samples::smallChip(4))};
+  core::CompileSession session{core::samples::smallChip(4)};
   auto result = session.run();
   ASSERT_TRUE(result) << result.diagnostics().toString();
   const core::CompiledChip& chip = **result;
