@@ -1,0 +1,292 @@
+/// SERVICE-LOAD — the compile service under a concurrent request load,
+/// sweeping the three request classes a design environment generates:
+///   * cold: distinct designs, every request a cache miss running the
+///     full staged pipeline,
+///   * hot: repeats of known designs, served from the content-addressed
+///     cache (asserted: every request hits, the served chip is the same
+///     immutable object, and the mean hot latency is >= 10x faster than
+///     the mean cold latency),
+///   * viewport: pan/zoom windows streamed off cached chips through the
+///     tiled layout::View path (asserted: zero compile stages run while
+///     serving them — `ServiceStats::compilesExecuted` is flat),
+/// plus a mixed workload (10% cold / 60% hot / 30% viewport) as the
+/// realistic steady state. Rows land in BENCH.json as the `svc_` family:
+/// per-class throughput (requests == items), tail latency (`*_p99` rows
+/// carry the 99th-percentile request latency in ns_per_op), and the
+/// mixed-workload cache hit rate (`svc_mixed_hit_rate_pct`, percent in
+/// items_per_sec — the one row whose "items" are not requests).
+///
+/// Env knobs: BB_BENCH_SMOKE=1 caps the sweep for CI (and skips the
+/// google-benchmark timings).
+
+#include "bench_util.hpp"
+
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace bb;
+
+namespace {
+
+constexpr int kClients = 4;  // concurrent client threads per phase
+
+/// Distinct designs, cycling widths over both sample families so cold
+/// requests exercise different pipeline costs.
+icl::ChipDesc designAt(std::size_t i) {
+  if (i % 4 == 3) {
+    return core::samples::largeChip(8 + static_cast<int>(i % 8), 4 + static_cast<int>(i % 3));
+  }
+  return core::samples::smallChip(2 + static_cast<int>(i % 15));
+}
+
+double seconds(std::chrono::nanoseconds ns) {
+  return static_cast<double>(ns.count()) / 1e9;
+}
+
+double p99(std::vector<double>& latenciesSeconds) {
+  if (latenciesSeconds.empty()) return 0;
+  std::sort(latenciesSeconds.begin(), latenciesSeconds.end());
+  const std::size_t idx =
+      (latenciesSeconds.size() * 99 + 99) / 100 - 1;  // ceil(0.99n)-1
+  return latenciesSeconds[std::min(idx, latenciesSeconds.size() - 1)];
+}
+
+template <typename F>
+double timeIt(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Issue `total` requests from `kClients` threads, each request built by
+/// `makeAndSend(i)` returning its latency in seconds.
+template <typename F>
+std::vector<double> drive(std::size_t total, F&& makeAndSend) {
+  std::vector<double> latencies(total);
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&] {
+      for (std::size_t i = cursor.fetch_add(1); i < total; i = cursor.fetch_add(1)) {
+        latencies[i] = makeAndSend(i);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  return latencies;
+}
+
+void printTable(bool smoke) {
+  const std::size_t nDesigns = smoke ? 6 : 16;
+  const std::size_t nHot = smoke ? 120 : 1200;
+  const std::size_t nViewport = smoke ? 48 : 400;
+  const std::size_t nMixed = smoke ? 100 : 2000;
+
+  svc::ServiceOptions sopts;
+  sopts.cacheBudgetBytes = 512ull << 20;  // no eviction: this bench times serving
+  svc::CompileService service(sopts);
+
+  std::printf("== SERVICE-LOAD: compile service under %d concurrent clients ==\n",
+              kClients);
+
+  // -- cold: every request a distinct design ------------------------------
+  std::vector<svc::CompileResponse> cold(nDesigns);
+  const double coldS = timeIt([&] {
+    auto lats = drive(nDesigns, [&](std::size_t i) {
+      cold[i] = service.compile(svc::CompileRequest::ofDesc(designAt(i)));
+      return seconds(cold[i].latency);
+    });
+    bench::BenchJson::instance().record("svc_cold_p99", static_cast<long long>(nDesigns),
+                                        p99(lats) * 1e9, 0);
+  });
+  bench::BenchJson::instance().recordRun("svc_cold_compile",
+                                         static_cast<long long>(nDesigns), coldS);
+  double coldMeanS = 0;
+  for (const auto& r : cold) {
+    if (!r.ok() || r.cacheHit) {
+      std::fprintf(stderr, "FATAL: cold request failed or hit a cache that must be empty\n");
+      std::abort();
+    }
+    coldMeanS += seconds(r.latency);
+  }
+  coldMeanS /= static_cast<double>(nDesigns);
+  if (service.stats().compilesExecuted != nDesigns) {
+    std::fprintf(stderr, "FATAL: %llu compiles for %zu distinct cold designs\n",
+                 static_cast<unsigned long long>(service.stats().compilesExecuted),
+                 nDesigns);
+    std::abort();
+  }
+
+  // -- hot: repeats served from the cache ---------------------------------
+  std::atomic<std::size_t> hotMisses{0};
+  double hotMeanS = 0;
+  std::uint64_t lcg = 0x9E3779B97F4A7C15ull;  // fixed seed: reproducible mix
+  std::vector<std::size_t> hotPick(nHot);
+  for (std::size_t i = 0; i < nHot; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    hotPick[i] = (lcg >> 33) % nDesigns;
+  }
+  const double hotS = timeIt([&] {
+    auto lats = drive(nHot, [&](std::size_t i) {
+      const svc::CompileResponse r =
+          service.compile(svc::CompileRequest::ofDesc(designAt(hotPick[i])));
+      if (!r.cacheHit || r.chip.get() != cold[hotPick[i]].chip.get()) {
+        hotMisses.fetch_add(1);
+      }
+      return seconds(r.latency);
+    });
+    for (const double s : lats) hotMeanS += s;
+    hotMeanS /= static_cast<double>(nHot);
+    bench::BenchJson::instance().record("svc_hot_p99", static_cast<long long>(nHot),
+                                        p99(lats) * 1e9, 0);
+  });
+  bench::BenchJson::instance().recordRun("svc_hot_compile", static_cast<long long>(nHot),
+                                         hotS);
+  if (hotMisses.load() != 0) {
+    std::fprintf(stderr, "FATAL: %zu hot requests missed the warm cache (or served a "
+                 "different chip object)\n", hotMisses.load());
+    std::abort();
+  }
+  // The acceptance bar: a warm hit must be at least 10x cheaper than a
+  // cold compile, or the cache is not earning its memory.
+  if (hotMeanS * 10 > coldMeanS) {
+    std::fprintf(stderr, "FATAL: warm-cache speedup below 10x (cold %.3f ms, hot %.3f ms)\n",
+                 coldMeanS * 1e3, hotMeanS * 1e3);
+    std::abort();
+  }
+
+  // -- viewport: pan/zoom windows off cached chips ------------------------
+  const std::uint64_t compilesBefore = service.stats().compilesExecuted;
+  std::atomic<std::size_t> vpFailures{0};
+  const double vpS = timeIt([&] {
+    auto lats = drive(nViewport, [&](std::size_t i) {
+      const std::size_t d = i % nDesigns;
+      const geom::Rect art = cold[d].chip->flatTop().bbox();
+      const geom::Coord w = art.width() / 4, h = art.height() / 4;
+      const geom::Coord span = art.width() - w > 0 ? art.width() - w : 1;
+      svc::ViewportRequest vp;
+      vp.chip = svc::CompileRequest::ofDesc(designAt(d));
+      const geom::Coord x = art.x0 + static_cast<geom::Coord>(i % 8) * span / 8;
+      vp.window = geom::Rect{x, art.y0, x + w, art.y0 + h};
+      vp.tileSize = geom::lambda(256);
+      const svc::EmitResponse r = service.viewport(vp);
+      if (!r.ok || !r.cacheHit) vpFailures.fetch_add(1);
+      return seconds(r.latency);
+    });
+    bench::BenchJson::instance().record("svc_viewport_p99",
+                                        static_cast<long long>(nViewport),
+                                        p99(lats) * 1e9, 0);
+  });
+  bench::BenchJson::instance().recordRun("svc_viewport_serve",
+                                         static_cast<long long>(nViewport), vpS);
+  if (vpFailures.load() != 0) {
+    std::fprintf(stderr, "FATAL: %zu viewport requests failed or missed the cache\n",
+                 vpFailures.load());
+    std::abort();
+  }
+  // The serving guarantee: a cached viewport never runs a compile stage.
+  if (service.stats().compilesExecuted != compilesBefore) {
+    std::fprintf(stderr, "FATAL: viewport serving ran %llu compile(s)\n",
+                 static_cast<unsigned long long>(service.stats().compilesExecuted -
+                                                 compilesBefore));
+    std::abort();
+  }
+
+  // -- mixed steady state: 10% cold / 60% hot / 30% viewport --------------
+  svc::CompileService mixedService(sopts);
+  const svc::CacheStats before = mixedService.cache().stats();
+  (void)before;
+  const double mixedS = timeIt([&] {
+    drive(nMixed, [&](std::size_t i) {
+      // Derived from the request index alone: deterministic and race-free
+      // across the client threads.
+      const std::uint64_t h = i * 6364136223846793005ull + 1442695040888963407ull;
+      const std::size_t roll = (h >> 33) % 10;
+      const std::size_t d = (h >> 13) % nDesigns;
+      if (roll < 1) {  // cold-ish: a design outside the hot set
+        const svc::CompileResponse r = mixedService.compile(
+            svc::CompileRequest::ofDesc(designAt(nDesigns + i % (2 * nDesigns))));
+        return seconds(r.latency);
+      }
+      if (roll < 7) {  // hot
+        const svc::CompileResponse r =
+            mixedService.compile(svc::CompileRequest::ofDesc(designAt(d)));
+        return seconds(r.latency);
+      }
+      svc::ViewportRequest vp;  // viewport over a hot design
+      vp.chip = svc::CompileRequest::ofDesc(designAt(d));
+      vp.tileSize = geom::lambda(256);
+      const svc::EmitResponse r = mixedService.viewport(vp);
+      return seconds(r.latency);
+    });
+  });
+  bench::BenchJson::instance().recordRun("svc_mixed_requests",
+                                         static_cast<long long>(nMixed), mixedS);
+  const double hitPct = mixedService.cache().stats().hitRate() * 100.0;
+  bench::BenchJson::instance().record("svc_mixed_hit_rate_pct",
+                                      static_cast<long long>(nMixed), mixedS * 1e9,
+                                      hitPct);
+
+  std::printf("%10s %10s %14s %14s\n", "phase", "requests", "req_per_sec", "mean_ms");
+  std::printf("%10s %10zu %14.1f %14.3f\n", "cold", nDesigns,
+              static_cast<double>(nDesigns) / coldS, coldMeanS * 1e3);
+  std::printf("%10s %10zu %14.1f %14.3f\n", "hot", nHot,
+              static_cast<double>(nHot) / hotS, hotMeanS * 1e3);
+  std::printf("%10s %10zu %14.1f\n", "viewport", nViewport,
+              static_cast<double>(nViewport) / vpS);
+  std::printf("%10s %10zu %14.1f   (cache hit rate %.0f%%)\n", "mixed", nMixed,
+              static_cast<double>(nMixed) / mixedS, hitPct);
+  std::printf("(warm speedup %.0fx over cold; viewports ran 0 compile stages)\n\n",
+              coldMeanS / (hotMeanS > 0 ? hotMeanS : 1e-9));
+}
+
+void BM_ServiceHotCompile(benchmark::State& state) {
+  svc::CompileService service;
+  const auto req = svc::CompileRequest::ofDesc(core::samples::smallChip(4));
+  if (!service.compile(req).ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.compile(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceHotCompile);
+
+void BM_ServiceViewport(benchmark::State& state) {
+  svc::CompileService service;
+  const auto req = svc::CompileRequest::ofDesc(core::samples::largeChip(16, 8));
+  const svc::CompileResponse whole = service.compile(req);
+  if (!whole.ok()) std::abort();
+  const geom::Rect art = whole.chip->flatTop().bbox();
+  svc::ViewportRequest vp;
+  vp.chip = req;
+  vp.window = geom::Rect{art.x0, art.y0, art.x0 + art.width() / 4,
+                         art.y0 + art.height() / 4};
+  vp.tileSize = geom::lambda(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.viewport(vp));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceViewport)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("BB_BENCH_SMOKE") != nullptr;
+  printTable(smoke);
+  if (!bench::BenchJson::instance().write()) {
+    std::fprintf(stderr, "FATAL: failed to land perf rows in BENCH.json (cause above)\n");
+    return 1;
+  }
+  if (smoke) return 0;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -16,6 +16,11 @@
 ///      unified Emitter registry — each backend discoverable by name.
 ///
 /// Run from the build tree:  ./quickstart [output-dir]
+///
+/// This is the one-shot batch flow. For the persistent, interactive
+/// flow — a compile server with a content-addressed chip cache,
+/// incremental recompilation and pan/zoom viewport serving — see
+/// examples/service_demo.cpp (`./service_demo`).
 
 #include "core/session.hpp"
 #include "icl/builder.hpp"

@@ -168,6 +168,8 @@ class Cell {
   // friend so the cell's invariants stay in one file.
   friend Cell stretched(const Cell& c, StretchAxis axis, geom::Coord at, geom::Coord delta,
                         std::string newName);
+  // Library cloning must retarget Instance::cell pointers into the clone.
+  friend class CellLibrary;
 
  private:
   std::string name_;

@@ -30,6 +30,34 @@ Cell* CellLibrary::adopt(Cell c) {
   return raw;
 }
 
+CellLibrary CellLibrary::clone(std::unordered_map<const Cell*, Cell*>* remap) const {
+  CellLibrary out;
+  std::unordered_map<const Cell*, Cell*> map;
+  map.reserve(order_.size());
+  // Keys can differ from Cell::name() (adopt() de-duplicates the key but
+  // keeps the cell's own name), so copy the map entries verbatim instead
+  // of re-deriving keys.
+  std::unordered_map<const Cell*, const std::string*> keyOf;
+  keyOf.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) keyOf.emplace(cell.get(), &key);
+  for (const Cell* c : order_) {
+    auto copy = std::make_unique<Cell>(*c);
+    map.emplace(c, copy.get());
+    out.order_.push_back(copy.get());
+    out.cells_.emplace(*keyOf.at(c), std::move(copy));
+  }
+  // Retarget every instance reference into the clone. A reference to a
+  // cell outside this library (none today) is left as-is.
+  for (Cell* c : out.order_) {
+    for (Instance& inst : c->instances_) {
+      const auto it = map.find(inst.cell);
+      if (it != map.end()) inst.cell = it->second;
+    }
+  }
+  if (remap != nullptr) *remap = std::move(map);
+  return out;
+}
+
 const Cell* CellLibrary::find(std::string_view name) const noexcept {
   auto it = cells_.find(name);
   return it == cells_.end() ? nullptr : it->second.get();

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 namespace bb::cell {
 
@@ -37,6 +38,16 @@ class CellLibrary {
 
   /// Iterate in creation order.
   [[nodiscard]] const std::vector<Cell*>& all() const noexcept { return order_; }
+
+  /// Deep copy: every cell duplicated (same names, same creation order)
+  /// with all instance references retargeted at the copies, so the clone
+  /// is a fully independent hierarchy. When `remap` is non-null it
+  /// receives the old-cell -> new-cell mapping, so callers holding raw
+  /// pointers into this library (a CompiledChip's top/core/decoder, the
+  /// placed-element columns) can retarget them too. This is what makes a
+  /// compiled chip checkpointable for incremental recompilation.
+  [[nodiscard]] CellLibrary clone(
+      std::unordered_map<const Cell*, Cell*>* remap = nullptr) const;
 
   /// Serialize one cell (shapes, bristles, stretch lines, boundary) in the
   /// textual cell design language. Instances are written by reference.

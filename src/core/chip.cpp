@@ -1,6 +1,8 @@
 #include "core/chip.hpp"
 
 #include <sstream>
+#include <unordered_map>
+#include <variant>
 
 namespace bb::core {
 
@@ -34,6 +36,57 @@ std::string CompiledChip::statsText() const {
   os << "  artwork:      " << stats.cellCount << " cells, " << stats.shapeCount
      << " flattened primitives\n";
   return os.str();
+}
+
+CompiledChip CompiledChip::clone() const {
+  CompiledChip out;
+  out.desc = desc;
+  std::unordered_map<const cell::Cell*, cell::Cell*> map;
+  out.lib = lib.clone(&map);
+  const auto retarget = [&map](cell::Cell* p) -> cell::Cell* {
+    if (p == nullptr) return nullptr;
+    const auto it = map.find(p);
+    return it == map.end() ? p : it->second;
+  };
+  out.top = retarget(top);
+  out.core = retarget(core);
+  out.bufferRow = retarget(bufferRow);
+  out.decoder = retarget(decoder);
+  out.placed = placed;
+  for (PlacedElement& e : out.placed) e.column = retarget(e.column);
+  out.controls = controls;
+  out.pads = pads;
+  out.logic = logic;
+  out.pla = pla;
+  out.tapeStats = tapeStats;
+  out.stats = stats;
+  return out;  // flatTop_/flatCore_ stay null: rebuilt lazily on demand
+}
+
+std::size_t CompiledChip::approxBytes() const noexcept {
+  std::size_t bytes = sizeof(CompiledChip);
+  for (const cell::Cell* c : lib.all()) {
+    bytes += sizeof(cell::Cell) + c->name().size();
+    for (const cell::Shape& s : c->shapes()) {
+      bytes += sizeof(cell::Shape);
+      if (const auto* poly = std::get_if<geom::Polygon>(&s.geo)) {
+        bytes += poly->pts.size() * sizeof(geom::Point);
+      } else if (const auto* path = std::get_if<geom::Path>(&s.geo)) {
+        bytes += path->pts.size() * sizeof(geom::Point);
+      }
+    }
+    bytes += c->instances().size() * sizeof(cell::Instance);
+    for (const cell::Bristle& b : c->bristles()) {
+      bytes += sizeof(cell::Bristle) + b.name.size() + b.decode.size() + b.net.size();
+    }
+    bytes += c->stretchLines().size() * sizeof(cell::StretchLine);
+  }
+  bytes += placed.size() * sizeof(PlacedElement);
+  bytes += controls.size() * sizeof(elements::ControlLine);
+  bytes += pads.size() * sizeof(PadPlacement);
+  bytes += logic.gates().size() * sizeof(netlist::Gate);
+  bytes += logic.signalCount() * 32;  // names + bus flags, order of magnitude
+  return bytes;
 }
 
 const cell::FlatLayout& CompiledChip::flatTop() const {

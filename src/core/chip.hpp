@@ -82,6 +82,23 @@ struct CompiledChip {
 
   [[nodiscard]] std::string statsText() const;
 
+  /// Deep copy: the cell library is cloned with every instance reference
+  /// and the chip's own cell pointers (top/core/bufferRow/decoder, the
+  /// placed-element columns) retargeted at the copies; all value state
+  /// (desc, controls, pads, logic, pla, stats) is copied. The flatten
+  /// caches are NOT copied — the clone rebuilds them lazily. This is the
+  /// checkpoint primitive behind `CompileSession`'s incremental
+  /// recompilation: a pass re-run mutates a clone of the pre-pass chip,
+  /// never the original.
+  [[nodiscard]] CompiledChip clone() const;
+
+  /// Deterministic estimate of the chip's resident size in bytes (cells,
+  /// shapes with polygon/path vertices, bristles, instances, placed
+  /// elements, pads, logic gates). Used by `svc::ChipCache` to charge
+  /// entries against its byte budget; an estimate, not an accounting of
+  /// every allocator header.
+  [[nodiscard]] std::size_t approxBytes() const noexcept;
+
   /// Flattened artwork of the whole die / of the core, built on first use
   /// and cached for the chip's lifetime, so finalize's stats, DRC,
   /// extraction and every emitter share one flatten (and its per-layer

@@ -1,0 +1,96 @@
+/// \file digest.hpp
+/// Content hashing for the compile service. A `Digest` is an incremental
+/// 64-bit FNV-1a hash with typed `update` overloads that fold values into
+/// a canonical byte encoding (fixed-width little-endian integers, IEEE
+/// bits for doubles, length-delimited strings), so the same logical value
+/// always produces the same digest regardless of platform or call-site
+/// formatting. It is the keying primitive of the content-addressed chip
+/// cache: `svc::ChipCache` keys are digests of the canonical
+/// `icl::ChipDesc::toString()` plus a `CompileOptions` fingerprint (see
+/// fingerprint.hpp).
+///
+/// FNV-1a is not cryptographic — it is a fast, well-distributed content
+/// hash for cache addressing, where a collision costs a wrong cache hit
+/// in-process, not a security boundary.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace bb::core {
+
+class Digest {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  constexpr Digest() = default;
+  /// Chain from a previous digest value (stage-fingerprint chaining).
+  constexpr explicit Digest(std::uint64_t seed) : h_(seed) {}
+
+  /// Raw bytes.
+  Digest& update(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+
+  /// Length-delimited string: the bytes followed by the length, so
+  /// ("ab","c") and ("a","bc") fold differently.
+  Digest& update(std::string_view s) noexcept {
+    update(s.data(), s.size());
+    return update(static_cast<std::uint64_t>(s.size()));
+  }
+
+  /// Fixed-width little-endian encoding of any integral (incl. bool,
+  /// enums go through the integral overload via a cast at the call site).
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  Digest& update(T v) noexcept {
+    std::uint64_t u;
+    if constexpr (std::is_same_v<T, bool>) {
+      u = v ? 1 : 0;
+    } else {
+      u = static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<T>>(v));
+    }
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(u >> (8 * i));
+    return update(bytes, sizeof bytes);
+  }
+
+  /// IEEE-754 bit pattern, so 1.0 and 1.0000000001 differ and -0.0/0.0
+  /// differ (an options edit that flips a double always re-fingerprints).
+  Digest& update(double v) noexcept {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    return update(bits);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return h_; }
+
+  /// 16 lowercase hex digits — the content address in log/report form.
+  [[nodiscard]] std::string hex() const {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i) out[static_cast<std::size_t>(i)] = kHex[(h_ >> (60 - 4 * i)) & 0xF];
+    return out;
+  }
+
+  /// One-shot convenience.
+  [[nodiscard]] static std::uint64_t of(std::string_view s) noexcept {
+    return Digest{}.update(s).value();
+  }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace bb::core

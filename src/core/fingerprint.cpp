@@ -1,0 +1,78 @@
+#include "core/fingerprint.hpp"
+
+namespace bb::core {
+
+namespace {
+
+void updateVars(Digest& d, const CompileOptions& opts) {
+  // std::map iterates in key order, so insertion order never leaks in.
+  d.update(static_cast<std::uint64_t>(opts.vars.size()));
+  for (const auto& [name, value] : opts.vars) {
+    d.update(std::string_view{name});
+    d.update(value);
+  }
+}
+
+void updatePass1(Digest& d, const CompileOptions& opts) {
+  d.update(opts.pass1.railCapacityUaPerLambda);
+}
+
+void updatePass2(Digest& d, const CompileOptions& opts) {
+  d.update(opts.pass2.optimizeDecoder);
+}
+
+void updatePass3(Digest& d, const CompileOptions& opts) {
+  d.update(opts.pass3.rotoRouter);
+  d.update(opts.pass3.evenSpacing);
+  d.update(static_cast<std::int64_t>(opts.pass3.ringGapLambda));
+}
+
+}  // namespace
+
+void updateDigest(Digest& d, const CompileOptions& opts) {
+  updateVars(d, opts);
+  updatePass1(d, opts);
+  updatePass2(d, opts);
+  updatePass3(d, opts);
+}
+
+std::uint64_t optionsFingerprint(const CompileOptions& opts) {
+  Digest d;
+  updateDigest(d, opts);
+  return d.value();
+}
+
+std::uint64_t stageOptionsFingerprint(Stage s, const CompileOptions& opts) {
+  // Tag with the stage so an empty fingerprint for parse never equals an
+  // empty fingerprint for finalize.
+  Digest d;
+  d.update(static_cast<std::uint64_t>(s));
+  switch (s) {
+    case Stage::Parse:
+    case Stage::Finalize:
+      break;  // no option inputs
+    case Stage::Vote:
+      updateVars(d, opts);
+      break;
+    case Stage::Pass1:
+      updatePass1(d, opts);
+      break;
+    case Stage::Pass2:
+      updatePass2(d, opts);
+      break;
+    case Stage::Pass3:
+      updatePass3(d, opts);
+      break;
+  }
+  return d.value();
+}
+
+std::uint64_t requestDigest(const icl::ChipDesc& desc, const CompileOptions& opts) {
+  Digest d;
+  d.update(std::string_view{"bb-chip-request-v1"});
+  d.update(std::string_view{desc.toString()});  // the canonical hashing contract
+  updateDigest(d, opts);
+  return d.value();
+}
+
+}  // namespace bb::core

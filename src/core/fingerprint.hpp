@@ -1,0 +1,44 @@
+/// \file fingerprint.hpp
+/// Stable fingerprints of compile inputs, built on `core::Digest`.
+///
+/// Two consumers:
+///  * the content-addressed chip cache (`svc::ChipCache`) keys entries on
+///    `requestDigest(desc, opts)` — the canonical `ChipDesc::toString()`
+///    (the documented hashing contract: deterministic, construction-order
+///    independent) folded with the full `CompileOptions` fingerprint, so
+///    identical designs compiled with identical options share one entry
+///    and the same design with different options never collides;
+///  * incremental recompilation (`CompileSession::setOptions`) — each
+///    pipeline stage has its own fingerprint over exactly the option
+///    fields that stage reads (`stageOptionsFingerprint`), so an options
+///    edit invalidates from the first stage whose inputs actually
+///    changed and nothing earlier.
+
+#pragma once
+
+#include "core/digest.hpp"
+#include "core/options.hpp"
+#include "core/session.hpp"
+
+#include <cstdint>
+
+namespace bb::core {
+
+/// Fold every option field that can influence any stage into `d`
+/// (conditional-assembly vars and the three pass-option blocks).
+void updateDigest(Digest& d, const CompileOptions& opts);
+
+/// Digest of the complete option set — the cache key's option half.
+[[nodiscard]] std::uint64_t optionsFingerprint(const CompileOptions& opts);
+
+/// Digest of only the option fields stage `s` consumes: vars for the
+/// vote stage, pass1/pass2/pass3 blocks for their passes; parse and
+/// finalize read no options and fingerprint to a stage-tagged constant.
+[[nodiscard]] std::uint64_t stageOptionsFingerprint(Stage s, const CompileOptions& opts);
+
+/// The content address of a compile request: canonical description text
+/// plus the full options fingerprint. This is the `svc::ChipCache` key.
+[[nodiscard]] std::uint64_t requestDigest(const icl::ChipDesc& desc,
+                                          const CompileOptions& opts);
+
+}  // namespace bb::core

@@ -1,6 +1,7 @@
 #include "core/session.hpp"
 
 #include "cell/flatten.hpp"
+#include "core/fingerprint.hpp"
 #include "icl/parser.hpp"
 
 #include <sstream>
@@ -78,12 +79,136 @@ CompiledChipPtr CompileSession::takeChip() {
   return finished_ ? std::move(chip_) : nullptr;
 }
 
+std::size_t CompileSession::totalExecutions() const noexcept {
+  std::size_t sum = 0;
+  for (const std::size_t c : execCount_) sum += c;
+  return sum;
+}
+
+bool CompileSession::canRestartAt(Stage s) const noexcept {
+  switch (s) {
+    case Stage::Parse: return true;
+    case Stage::Vote: return parsed_;
+    case Stage::Pass1: return done(Stage::Vote);  // decls_ memoized
+    case Stage::Pass2: return afterPass1_ != nullptr;
+    case Stage::Pass3: return afterPass2_ != nullptr;
+    case Stage::Finalize: return done(Stage::Pass3) && chip_ != nullptr;
+  }
+  return false;
+}
+
+Stage CompileSession::invalidateFrom(Stage want) {
+  Stage s = want;
+  while (s != Stage::Parse && !canRestartAt(s)) {
+    s = static_cast<Stage>(static_cast<std::uint8_t>(s) - 1);
+  }
+  failed_ = false;
+  finished_ = false;
+  for (std::size_t i = static_cast<std::size_t>(s); i < kAllStages.size(); ++i) {
+    stageDone_[i] = false;
+  }
+  // Roll the diagnostics back to the moment stage `s` last began; if the
+  // stage never ran, no stage >= s contributed, so the list is already
+  // the pre-s state.
+  if (const auto& snap = diagsBefore_[static_cast<std::size_t>(s)]; snap.has_value()) {
+    diags_ = *snap;
+  }
+  // Later stages' snapshots are now stale (they describe a run that was
+  // just rolled back); drop them so a future rollback degrades to
+  // leaving the list as-is instead of restoring the wrong one.
+  for (std::size_t i = static_cast<std::size_t>(s) + 1; i < kAllStages.size(); ++i) {
+    diagsBefore_[i].reset();
+  }
+  switch (s) {
+    case Stage::Parse:
+      parsed_ = false;
+      decls_.clear();
+      chip_.reset();
+      afterPass1_.reset();
+      afterPass2_.reset();
+      break;
+    case Stage::Vote:
+      decls_.clear();
+      chip_.reset();
+      afterPass1_.reset();
+      afterPass2_.reset();
+      break;
+    case Stage::Pass1:
+      // Vote's memoized element list is reused; recreate only the chip
+      // shell Vote would have made.
+      chip_ = std::make_unique<CompiledChip>();
+      chip_->desc = desc_;
+      afterPass1_.reset();
+      afterPass2_.reset();
+      break;
+    case Stage::Pass2:
+      chip_ = std::make_unique<CompiledChip>(afterPass1_->clone());
+      afterPass2_.reset();
+      break;
+    case Stage::Pass3:
+      chip_ = std::make_unique<CompiledChip>(afterPass2_->clone());
+      break;
+    case Stage::Finalize:
+      break;  // finalize only rewrites stats; re-running it is idempotent
+  }
+  next_ = s;
+  return s;
+}
+
+std::optional<Stage> CompileSession::setOptions(const CompileOptions& opts) {
+  // The first stage whose option inputs changed is the first dirty one.
+  std::optional<Stage> dirty;
+  for (const Stage s : {Stage::Vote, Stage::Pass1, Stage::Pass2, Stage::Pass3}) {
+    if (stageOptionsFingerprint(s, opts_) != stageOptionsFingerprint(s, opts)) {
+      dirty = s;
+      break;
+    }
+  }
+  opts_ = opts;
+  if (!dirty.has_value()) {
+    // Identical inputs; a failed session may still want to resume.
+    return failed_ ? std::optional<Stage>(invalidateFrom(next_)) : std::nullopt;
+  }
+  if (!done(*dirty) && !failed_) return std::nullopt;  // not reached yet: nothing to redo
+  const Stage restart = failed_ && next_ < *dirty ? next_ : *dirty;
+  return invalidateFrom(restart);
+}
+
+std::optional<Stage> CompileSession::setDescription(icl::ChipDesc desc) {
+  if (parsed_ && Digest::of(desc_.toString()) == Digest::of(desc.toString())) {
+    return std::nullopt;  // canonically identical: every memo stays valid
+  }
+  const bool hadParsed = parsed_;
+  desc_ = std::move(desc);
+  haveDesc_ = true;
+  source_.clear();
+  if (!hadParsed) {
+    // Nothing has consumed a description yet; the parse stage will adopt
+    // this one when it runs. A session that failed in parse restarts
+    // there (adoption is free) so its stale parse diagnostics roll back.
+    return failed_ ? std::optional<Stage>(invalidateFrom(Stage::Parse)) : std::nullopt;
+  }
+  // The parse "stage" for a typed session just adopts the description, so
+  // the first real consumer — vote — is the first dirty stage.
+  parsed_ = true;
+  return invalidateFrom(Stage::Vote);
+}
+
 bool CompileSession::runStage(Stage s) {
   for (PassObserver* obs : observers_) obs->onStageBegin(s, *this);
+  diagsBefore_[static_cast<std::size_t>(s)] = diags_;
   const auto t0 = std::chrono::steady_clock::now();
   const bool ok = execute(s);
   const auto elapsed = std::chrono::steady_clock::now() - t0;
   if (ok) {
+    doneFlag(s) = true;
+    if (incremental_) {
+      if (s == Stage::Pass1) {
+        afterPass1_ = std::make_unique<CompiledChip>(chip_->clone());
+      } else if (s == Stage::Pass2) {
+        afterPass2_ = std::make_unique<CompiledChip>(chip_->clone());
+      }
+    }
     if (s == Stage::Finalize) {
       finished_ = true;
     } else {
@@ -97,6 +222,7 @@ bool CompileSession::runStage(Stage s) {
 }
 
 bool CompileSession::execute(Stage s) {
+  ++execCount_[static_cast<std::size_t>(s)];
   switch (s) {
     case Stage::Parse: {
       if (!haveDesc_) {

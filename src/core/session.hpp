@@ -20,6 +20,7 @@
 #include <array>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -102,6 +103,52 @@ class CompileSession {
   /// Run everything that is left and hand over the chip.
   [[nodiscard]] Expected<CompiledChipPtr> run();
 
+  // ---- incremental recompilation ---------------------------------------
+  /// Stage-level memoization. When on, the session checkpoints the chip
+  /// after pass1 and pass2 (a deep `CompiledChip::clone()`), so an edit
+  /// that dirties a later stage re-runs only from that stage against the
+  /// checkpoint instead of recompiling from scratch. Costs ~2 chip copies
+  /// of memory per session; the compile service turns it on for sessions
+  /// it keeps warm. Turning it on mid-pipeline checkpoints from the next
+  /// stage onward only.
+  void setIncremental(bool on) noexcept { incremental_ = on; }
+  [[nodiscard]] bool incremental() const noexcept { return incremental_; }
+
+  /// Roll the pipeline back so the next run re-executes from `s`. If the
+  /// exact restart point is unavailable (no checkpoint — memoization off,
+  /// stage never reached, or the chip was taken), degrades to the nearest
+  /// earlier restartable stage, down to a full re-run from parse. Returns
+  /// the stage actually restarted from; clears `failed()`/`finished()`.
+  /// Memoized stage outputs before the restart point are reused as-is:
+  /// re-running from pass1 does not re-vote, re-running from pass3 reuses
+  /// the post-pass2 checkpoint.
+  Stage invalidateFrom(Stage s);
+
+  /// Replace the option set. Compares per-stage input fingerprints
+  /// (`core::stageOptionsFingerprint`) and invalidates from the first
+  /// stage whose inputs actually changed: editing only pass3 options on a
+  /// finished incremental session re-runs pass3 + finalize and nothing
+  /// else. Returns the stage the next run starts from, or nullopt when
+  /// nothing dirtied an already-executed stage (options updated in place).
+  std::optional<Stage> setOptions(const CompileOptions& opts);
+
+  /// Replace the chip description (the session becomes a typed-desc
+  /// session regardless of how it was constructed). A description whose
+  /// canonical `toString()` is unchanged is a no-op; otherwise
+  /// invalidates from the vote stage (the first consumer of the parsed
+  /// description). Returns like `setOptions`.
+  std::optional<Stage> setDescription(icl::ChipDesc desc);
+
+  /// How many times stage `s` actually executed over the session's life —
+  /// memoized skips don't count. This is how tests and the service bench
+  /// prove an incremental re-run or a cached viewport request never
+  /// re-ran a stage.
+  [[nodiscard]] std::size_t executionCount(Stage s) const noexcept {
+    return execCount_[static_cast<std::size_t>(s)];
+  }
+  /// Total stage executions (all stages summed).
+  [[nodiscard]] std::size_t totalExecutions() const noexcept;
+
   // ---- inspection between stages --------------------------------------
   [[nodiscard]] const icl::DiagnosticList& diagnostics() const noexcept { return diags_; }
   /// The parsed description (after the parse stage; null before).
@@ -121,6 +168,13 @@ class CompileSession {
  private:
   bool runStage(Stage s);
   bool execute(Stage s);
+  [[nodiscard]] bool canRestartAt(Stage s) const noexcept;
+  [[nodiscard]] bool& doneFlag(Stage s) noexcept {
+    return stageDone_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] bool done(Stage s) const noexcept {
+    return stageDone_[static_cast<std::size_t>(s)];
+  }
 
   CompileOptions opts_;
   std::string source_;
@@ -134,6 +188,16 @@ class CompileSession {
   bool parsed_ = false;
   bool finished_ = false;
   bool failed_ = false;
+
+  // Incremental-recompilation state. The checkpoints are post-stage chip
+  // clones; the diagnostics snapshots record the list as each stage
+  // began, so rolling back also rolls the diagnostics back.
+  bool incremental_ = false;
+  std::array<bool, kAllStages.size()> stageDone_{};
+  std::array<std::size_t, kAllStages.size()> execCount_{};
+  std::array<std::optional<icl::DiagnosticList>, kAllStages.size()> diagsBefore_;
+  CompiledChipPtr afterPass1_;
+  CompiledChipPtr afterPass2_;
 };
 
 /// One-shot convenience: the whole pipeline over source text.

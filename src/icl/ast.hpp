@@ -115,6 +115,17 @@ struct ChipDesc {
   std::vector<std::string> buses;
   std::vector<CoreItem> core;
 
+  /// Render as ICL source. This rendering is CANONICAL and deterministic
+  /// — it is the hashing contract of the content-addressed chip cache
+  /// (`core::requestDigest` / `svc::ChipCache`): two descriptions of the
+  /// same design produce byte-identical strings regardless of
+  /// construction order. Concretely: `vars` and every element's `params`
+  /// are sorted maps (insertion order never leaks into the text), while
+  /// microcode fields, buses and core items keep declaration order
+  /// because order there is semantic (field bit layout, bus index,
+  /// element placement). Any change to this format invalidates every
+  /// persisted digest, so extend it only deliberately and canonically
+  /// (regression-tested by test_service.cpp / test_builder.cpp).
   [[nodiscard]] std::string toString() const;
 };
 

@@ -10,6 +10,7 @@
 #include "reps/sticks.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 
@@ -183,12 +184,12 @@ EmitterRegistry& EmitterRegistry::global() {
 
 void EmitterRegistry::add(std::unique_ptr<Emitter> emitter) {
   if (emitter == nullptr) return;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::unique_lock<std::shared_mutex> lock(mu_);
   emitters_.push_back(std::move(emitter));
 }
 
 const Emitter* EmitterRegistry::find(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   // Latest registration wins, so a user emitter can shadow a built-in.
   for (auto it = emitters_.rbegin(); it != emitters_.rend(); ++it) {
     if ((*it)->name() == name) return it->get();
@@ -199,7 +200,7 @@ const Emitter* EmitterRegistry::find(std::string_view name) const {
 std::vector<std::string_view> EmitterRegistry::names() const {
   std::vector<std::string_view> out;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const std::shared_lock<std::shared_mutex> lock(mu_);
     out.reserve(emitters_.size());
     for (const auto& e : emitters_) out.push_back(e->name());
   }
@@ -209,7 +210,7 @@ std::vector<std::string_view> EmitterRegistry::names() const {
 }
 
 std::size_t EmitterRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   return emitters_.size();
 }
 

@@ -14,8 +14,8 @@
 
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -77,10 +77,12 @@ class Emitter {
 
 /// Name -> emitter. The global registry is pre-populated with every
 /// built-in backend; callers may add their own (a same-name emitter
-/// shadows the earlier one). All operations are mutex-guarded so
-/// `BatchCompiler` workers can emit while another thread registers;
-/// emitters are never destroyed while the registry lives, so a found
-/// pointer stays valid.
+/// shadows the earlier one). Lookups take a shared lock and
+/// registration an exclusive one, so any number of service/batch
+/// threads can resolve and emit concurrently without serializing on
+/// the registry, even while another thread registers; emitters are
+/// never destroyed while the registry lives, so a found pointer stays
+/// valid.
 class EmitterRegistry {
  public:
   EmitterRegistry() = default;
@@ -105,7 +107,7 @@ class EmitterRegistry {
             const EmitterOptions& opts) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Emitter>> emitters_;
 };
 

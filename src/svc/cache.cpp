@@ -1,0 +1,79 @@
+#include "svc/cache.hpp"
+
+namespace bb::svc {
+
+ChipHandle ChipCache::find(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recently-used
+  return it->second->chip;
+}
+
+void ChipCache::insert(std::uint64_t key, ChipHandle chip, std::size_t bytes) {
+  if (chip == nullptr) return;
+  if (bytes == 0) bytes = chip->approxBytes();
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > budget_) {
+    ++stats_.rejectedOversize;
+    // An existing (smaller) entry under this key stays — it still fits.
+    return;
+  }
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, std::move(chip), bytes});
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+  ++stats_.insertions;
+  evictUntilFits();
+}
+
+void ChipCache::evictUntilFits() {
+  while (bytes_ > budget_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+bool ChipCache::contains(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(key) != index_.end();
+}
+
+void ChipCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+std::size_t ChipCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::size_t ChipCache::bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+CacheStats ChipCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  CacheStats out = stats_;
+  out.entries = lru_.size();
+  out.bytes = bytes_;
+  out.budgetBytes = budget_;
+  return out;
+}
+
+}  // namespace bb::svc

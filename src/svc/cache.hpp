@@ -1,0 +1,95 @@
+/// \file cache.hpp
+/// Content-addressed chip cache — the memory behind the compile service.
+///
+/// Entries are immutable compiled chips keyed by `core::requestDigest`:
+/// the FNV-1a digest of the canonical `icl::ChipDesc::toString()` (the
+/// documented hashing contract — deterministic, construction-order
+/// independent) folded with the full `CompileOptions` fingerprint. Two
+/// requests for the same design with the same options share one entry;
+/// the same design with different options never collides on purpose.
+///
+/// Replacement is LRU under a byte budget: every entry is charged its
+/// `CompiledChip::approxBytes()` (or an explicit size), a lookup bumps
+/// the entry to most-recently-used, and an insert evicts from the cold
+/// end until the budget holds. One entry larger than the whole budget is
+/// refused outright (never cached) rather than evicting everything else
+/// for a chip that can't fit anyway. All operations are mutex-guarded;
+/// handles are `shared_ptr<const CompiledChip>`, so an evicted chip stays
+/// alive for whoever is still emitting from it.
+
+#pragma once
+
+#include "core/chip.hpp"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace bb::svc {
+
+using ChipHandle = std::shared_ptr<const core::CompiledChip>;
+
+/// Counters, all monotonic except the gauges (`entries`, `bytes`).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;      ///< entries pushed out by the budget
+  std::uint64_t rejectedOversize = 0;  ///< single entries larger than the budget
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t budgetBytes = 0;
+
+  [[nodiscard]] double hitRate() const noexcept {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class ChipCache {
+ public:
+  /// `budgetBytes` == 0 disables caching entirely (every find misses,
+  /// every insert is rejected) — useful for measuring cold-path cost.
+  explicit ChipCache(std::size_t budgetBytes) : budget_(budgetBytes) {}
+
+  ChipCache(const ChipCache&) = delete;
+  ChipCache& operator=(const ChipCache&) = delete;
+
+  /// Lookup; a hit bumps the entry to most-recently-used. Null on miss.
+  [[nodiscard]] ChipHandle find(std::uint64_t key);
+
+  /// Insert (or replace) under `key`. `bytes` == 0 charges
+  /// `chip->approxBytes()`. Evicts LRU entries until the budget holds;
+  /// refuses (and drops) an entry that alone exceeds the budget.
+  void insert(std::uint64_t key, ChipHandle chip, std::size_t bytes = 0);
+
+  /// Present without touching recency or hit/miss counters.
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t bytes() const;
+  [[nodiscard]] std::size_t budgetBytes() const noexcept { return budget_; }
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    ChipHandle chip;
+    std::size_t bytes = 0;
+  };
+
+  void evictUntilFits();  // caller holds mu_
+
+  const std::size_t budget_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace bb::svc

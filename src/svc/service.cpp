@@ -1,0 +1,181 @@
+#include "svc/service.hpp"
+
+#include "core/fingerprint.hpp"
+#include "core/workqueue.hpp"
+#include "icl/parser.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace bb::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void mergeInto(icl::DiagnosticList& dst, const icl::DiagnosticList& src) {
+  for (const icl::Diagnostic& d : src.all()) {
+    switch (d.severity) {
+      case icl::Severity::Error: dst.error(d.loc, d.message); break;
+      case icl::Severity::Warning: dst.warning(d.loc, d.message); break;
+      case icl::Severity::Note: dst.note(d.loc, d.message); break;
+    }
+  }
+}
+
+/// The request's typed description: the one it carries, or its source
+/// text parsed (diagnostics land in `diags`). Nullopt when unparseable.
+std::optional<icl::ChipDesc> resolveDesc(const CompileRequest& req,
+                                         icl::DiagnosticList& diags) {
+  if (req.desc.has_value()) return req.desc;
+  auto parsed = icl::parseChip(req.source, diags);
+  if (!parsed) return std::nullopt;
+  return std::move(*parsed);
+}
+
+}  // namespace
+
+CompileService::CompileService(ServiceOptions opts)
+    : opts_(opts), cache_(opts.cacheBudgetBytes) {}
+
+std::optional<std::uint64_t> CompileService::keyFor(const CompileRequest& req) const {
+  icl::DiagnosticList diags;
+  const std::optional<icl::ChipDesc> desc = resolveDesc(req, diags);
+  if (!desc.has_value()) return std::nullopt;
+  return core::requestDigest(*desc, req.opts);
+}
+
+CompileResponse CompileService::compile(const CompileRequest& req) {
+  const auto t0 = Clock::now();
+  CompileResponse resp;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.compileRequests;
+  }
+
+  // Canonicalize the design first: source text is parsed once, and the
+  // parsed description is both the cache key's input and the compile's,
+  // so a source request and its typed twin share one cache entry.
+  const std::optional<icl::ChipDesc> desc = resolveDesc(req, resp.diags);
+  if (!desc.has_value()) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+    resp.latency = Clock::now() - t0;
+    return resp;
+  }
+  resp.key = core::requestDigest(*desc, req.opts);
+
+  // Cache lookup + single-flight claim. Whoever claims the key compiles;
+  // twins wait and re-check the cache when the compiler finishes.
+  bool weCompile = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (ChipHandle hit = cache_.find(resp.key)) {
+        ++stats_.cacheHits;
+        resp.chip = std::move(hit);
+        resp.cacheHit = true;
+        resp.latency = Clock::now() - t0;
+        return resp;
+      }
+      if (inflight_.insert(resp.key).second) {
+        ++stats_.cacheMisses;
+        weCompile = true;
+        break;
+      }
+      ++stats_.dedupedInFlight;
+      resp.deduped = true;
+      cv_.wait(lock);
+    }
+  }
+  (void)weCompile;
+
+  // Compile outside the lock: the service stays responsive while a big
+  // chip builds. The session is over the canonical description, so the
+  // result is bit-identical to the typed-frontend path.
+  core::CompileSession session(*desc, req.opts);
+  auto result = session.run();
+  ChipHandle handle;
+  if (result) {
+    handle = ChipHandle(std::move(*result));
+    if (opts_.prewarmChips) {
+      // Build the flattens and per-layer spatial indexes before the chip
+      // becomes shared: later viewport/emit reads are then const-only.
+      handle->flatTop().buildIndexes();
+      handle->flatCore().buildIndexes();
+    }
+    cache_.insert(resp.key, handle);
+  }
+  mergeInto(resp.diags, result.diagnostics());
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.compilesExecuted;
+    if (handle == nullptr) ++stats_.failures;
+    inflight_.erase(resp.key);
+  }
+  cv_.notify_all();
+
+  resp.chip = std::move(handle);
+  resp.latency = Clock::now() - t0;
+  return resp;
+}
+
+std::vector<CompileResponse> CompileService::compileAll(std::vector<CompileRequest> reqs) {
+  std::vector<CompileResponse> out(reqs.size());
+  core::runWorkQueue(reqs.size(), opts_.threads,
+                     [&](std::size_t i) { out[i] = compile(reqs[i]); });
+  return out;
+}
+
+EmitResponse CompileService::emit(const CompileRequest& req, std::string_view format,
+                                  const reps::EmitterOptions& eopts) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.emitRequests;
+  }
+  return emitImpl(req, format, eopts);
+}
+
+EmitResponse CompileService::emitImpl(const CompileRequest& req, std::string_view format,
+                                      const reps::EmitterOptions& eopts) {
+  const auto t0 = Clock::now();
+  EmitResponse resp;
+  CompileResponse compiled = compile(req);
+  resp.diags = std::move(compiled.diags);
+  resp.key = compiled.key;
+  resp.cacheHit = compiled.cacheHit;
+  if (!compiled.ok()) {
+    resp.latency = Clock::now() - t0;
+    return resp;
+  }
+  std::ostringstream os;
+  if (!reps::EmitterRegistry::global().emit(*compiled.chip, format, os, eopts)) {
+    resp.diags.error({}, "unknown emitter format '" + std::string(format) + "'");
+    resp.latency = Clock::now() - t0;
+    return resp;
+  }
+  resp.payload = std::move(os).str();
+  resp.ok = true;
+  resp.latency = Clock::now() - t0;
+  return resp;
+}
+
+EmitResponse CompileService::viewport(const ViewportRequest& req) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.viewportRequests;
+  }
+  reps::EmitterOptions eopts;
+  eopts.window = req.window;
+  eopts.tileSize = req.tileSize;
+  eopts.mergeTiles = req.mergeTiles;
+  return emitImpl(req.chip, req.format, eopts);
+}
+
+ServiceStats CompileService::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace bb::svc

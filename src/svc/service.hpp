@@ -1,0 +1,180 @@
+/// \file service.hpp
+/// The compile service — the long-running front door the production
+/// story needs: concurrent compile/emit/viewport requests over one
+/// process-wide content-addressed chip cache, instead of a batch CLI
+/// that recompiles the world every invocation.
+///
+/// A `CompileService` composes the pieces the repo already has:
+///  * requests carry source text or a typed `icl::ChipDesc` plus
+///    per-request `CompileOptions` — exactly a `CompileSession`'s inputs;
+///  * results are cached in a `ChipCache` keyed by
+///    `core::requestDigest` (canonical description text + options
+///    fingerprint), so identical designs are never compiled twice;
+///  * duplicate concurrent requests for the same key are single-flighted:
+///    one thread compiles, the rest wait on the result instead of
+///    burning cores on identical work;
+///  * `compileAll` fans a request batch out over `core::runWorkQueue`
+///    (the `BatchCompiler` scheduler) with every worker going through
+///    the cache and the single-flight gate;
+///  * `viewport` answers pan/zoom requests on cached chips by streaming
+///    `layout::View` tiles through the `reps::EmitterOptions` path — a
+///    warm viewport request runs zero compile stages (asserted by tests
+///    and the service load bench via `ServiceStats::compilesExecuted`).
+///
+/// Thread safety: every public method may be called concurrently.
+/// Chips entering the cache are prewarmed (`flatTop`/`flatCore` flattens
+/// + spatial indexes built) before they become visible, so concurrent
+/// viewport queries only ever perform const reads on shared chips.
+
+#pragma once
+
+#include "core/options.hpp"
+#include "core/session.hpp"
+#include "reps/emitter.hpp"
+#include "svc/cache.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace bb::svc {
+
+struct ServiceOptions {
+  /// Worker width for `compileAll` (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// Chip-cache byte budget (0 disables caching).
+  std::size_t cacheBudgetBytes = 64ull << 20;
+  /// Prewarm flattens + spatial indexes before a chip enters the cache
+  /// (on for services sharing chips across threads; off saves the
+  /// prewarm cost in single-threaded embedding).
+  bool prewarmChips = true;
+};
+
+/// One compile request: a design (typed description, or source text to
+/// parse) plus the options to compile it under.
+struct CompileRequest {
+  std::string name;                   ///< label for logs/reports
+  std::string source;                 ///< ICL text (ignored when desc set)
+  std::optional<icl::ChipDesc> desc;  ///< typed description (preferred)
+  core::CompileOptions opts;
+
+  [[nodiscard]] static CompileRequest ofSource(std::string name, std::string source,
+                                               core::CompileOptions opts = {}) {
+    CompileRequest r;
+    r.name = std::move(name);
+    r.source = std::move(source);
+    r.opts = std::move(opts);
+    return r;
+  }
+  [[nodiscard]] static CompileRequest ofDesc(icl::ChipDesc desc,
+                                             core::CompileOptions opts = {}) {
+    CompileRequest r;
+    r.name = desc.name;
+    r.desc = std::move(desc);
+    r.opts = std::move(opts);
+    return r;
+  }
+};
+
+struct CompileResponse {
+  ChipHandle chip;  ///< null on failure (see diags)
+  icl::DiagnosticList diags;
+  std::uint64_t key = 0;      ///< content address (0 when unkeyable: parse failed)
+  bool cacheHit = false;      ///< served straight from the chip cache
+  bool deduped = false;       ///< waited on an identical in-flight compile
+  std::chrono::nanoseconds latency{};
+
+  [[nodiscard]] bool ok() const noexcept { return chip != nullptr; }
+};
+
+/// A viewport (pan/zoom) request: identifies a chip like a compile
+/// request, plus the window to stream and the format to stream it in.
+struct ViewportRequest {
+  CompileRequest chip;
+  std::string format = "cif";  ///< any registered emitter name
+  std::optional<geom::Rect> window;  ///< unset = whole artwork
+  geom::Coord tileSize = 0;
+  bool mergeTiles = false;
+};
+
+struct EmitResponse {
+  std::string payload;  ///< the emitted artifact (empty on failure)
+  icl::DiagnosticList diags;
+  std::uint64_t key = 0;
+  bool ok = false;
+  bool cacheHit = false;  ///< the chip came from the cache (no stages ran)
+  std::chrono::nanoseconds latency{};
+};
+
+/// Request-level counters (the cache keeps its own byte/entry stats).
+struct ServiceStats {
+  std::uint64_t compileRequests = 0;
+  std::uint64_t emitRequests = 0;
+  std::uint64_t viewportRequests = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t compilesExecuted = 0;  ///< full pipeline runs (cache misses)
+  std::uint64_t dedupedInFlight = 0;   ///< requests that waited on a twin
+  std::uint64_t failures = 0;          ///< compiles that produced no chip
+
+  [[nodiscard]] double hitRate() const noexcept {
+    const double total = static_cast<double>(cacheHits + cacheMisses);
+    return total > 0 ? static_cast<double>(cacheHits) / total : 0.0;
+  }
+};
+
+class CompileService {
+ public:
+  explicit CompileService(ServiceOptions opts = {});
+
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Compile (or fetch) the requested chip. Concurrent calls with the
+  /// same content address are single-flighted.
+  [[nodiscard]] CompileResponse compile(const CompileRequest& req);
+
+  /// Fan a request mix out over the work-queue scheduler; responses come
+  /// back in request order. Failed requests carry diagnostics, never
+  /// abort the batch.
+  [[nodiscard]] std::vector<CompileResponse> compileAll(std::vector<CompileRequest> reqs);
+
+  /// Compile (or fetch) and emit in `format` with full emitter options.
+  [[nodiscard]] EmitResponse emit(const CompileRequest& req, std::string_view format,
+                                  const reps::EmitterOptions& eopts = {});
+
+  /// The map-server endpoint: stream the requested window of the chip's
+  /// artwork, tile by tile, through the windowed emitter path. On a warm
+  /// cache this runs zero compile stages — pan/zoom over a compiled chip
+  /// costs only index queries over the window's geometry.
+  [[nodiscard]] EmitResponse viewport(const ViewportRequest& req);
+
+  /// The content address `compile(req)` would use; nullopt when the
+  /// request's source text does not parse.
+  [[nodiscard]] std::optional<std::uint64_t> keyFor(const CompileRequest& req) const;
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ChipCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const ChipCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return opts_; }
+
+ private:
+  [[nodiscard]] EmitResponse emitImpl(const CompileRequest& req, std::string_view format,
+                                      const reps::EmitterOptions& eopts);
+
+  ServiceOptions opts_;
+  ChipCache cache_;
+
+  mutable std::mutex mu_;  ///< guards stats_ and the in-flight set
+  std::condition_variable cv_;
+  std::unordered_set<std::uint64_t> inflight_;
+  ServiceStats stats_;
+};
+
+}  // namespace bb::svc

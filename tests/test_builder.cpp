@@ -4,6 +4,8 @@
 /// chip, `parseChip(desc.toString())` reproduces an equivalent ChipDesc
 /// and compiles a bit-identical chip (CIF bytes) to the string path.
 
+#include "core/digest.hpp"
+#include "core/fingerprint.hpp"
 #include "core/samples.hpp"
 #include "core/session.hpp"
 #include "icl/builder.hpp"
@@ -100,6 +102,53 @@ TEST(BuilderRoundTrip, ConditionalEdgeCases) {
   expectRoundTrip(desc);
   expectRoundTrip(desc, core::CompileOptions::builder().var("PROTOTYPE", false).build());
   expectRoundTrip(desc, core::CompileOptions::builder().var("WIDE", true).build());
+}
+
+TEST(BuilderRoundTrip, CanonicalToStringIgnoresConstructionOrder) {
+  // toString() is the hashing contract of the content-addressed chip
+  // cache: the same design built with vars and element parameters in
+  // different orders must render byte-identically and digest equally.
+  const ChipDesc a =
+      ChipBuilder("canon")
+          .var("ALPHA", true)
+          .var("BETA", false)
+          .microcode(4, {field("op", 0, 3)})
+          .dataWidth(4)
+          .buses({"A", "B"})
+          .element("register", "R0",
+                   {{"in", sym("A")}, {"out", sym("B")}, {"load", expr("op==1")},
+                    {"drive", expr("op==2")}})
+          .buildOrDie();
+  const ChipDesc b =
+      ChipBuilder("canon")
+          .var("BETA", false)
+          .var("ALPHA", true)
+          .microcode(4, {field("op", 0, 3)})
+          .dataWidth(4)
+          .buses({"A", "B"})
+          .element("register", "R0",
+                   {{"drive", expr("op==2")}, {"load", expr("op==1")},
+                    {"out", sym("B")}, {"in", sym("A")}})
+          .buildOrDie();
+  EXPECT_EQ(a.toString(), b.toString());
+  EXPECT_EQ(core::Digest::of(a.toString()), core::Digest::of(b.toString()));
+  EXPECT_EQ(core::requestDigest(a, {}), core::requestDigest(b, {}));
+
+  // Order that carries meaning must keep changing the rendering: buses
+  // index columns and element order is placement order.
+  const ChipDesc swapped =
+      ChipBuilder("canon")
+          .var("ALPHA", true)
+          .var("BETA", false)
+          .microcode(4, {field("op", 0, 3)})
+          .dataWidth(4)
+          .buses({"B", "A"})
+          .element("register", "R0",
+                   {{"in", sym("A")}, {"out", sym("B")}, {"load", expr("op==1")},
+                    {"drive", expr("op==2")}})
+          .buildOrDie();
+  EXPECT_NE(a.toString(), swapped.toString());
+  EXPECT_NE(core::requestDigest(a, {}), core::requestDigest(swapped, {}));
 }
 
 TEST(BuilderRoundTrip, SameNameInBothBranchesIsAllowed) {

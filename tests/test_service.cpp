@@ -1,0 +1,571 @@
+/// Tests for the compile service subsystem: the `core::Digest` /
+/// fingerprint utilities and their canonical-toString hashing contract,
+/// `svc::ChipCache` LRU/byte-budget/accounting behaviour,
+/// `CompileSession` incremental recompilation (stage memoization,
+/// `invalidateFrom`, option/description edits re-running only dirty
+/// stages, bit-identical results), the thread-safe emitter registry, and
+/// the `svc::CompileService` request path (content-addressed caching,
+/// single-flight dedup, option-fingerprint sensitivity, and viewport
+/// serving that never re-runs a compile stage on a warm cache).
+
+#include "core/digest.hpp"
+#include "core/fingerprint.hpp"
+#include "core/samples.hpp"
+#include "core/session.hpp"
+#include "icl/builder.hpp"
+#include "reps/emitter.hpp"
+#include "svc/cache.hpp"
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+namespace bb {
+namespace {
+
+using core::CompileOptions;
+using core::Digest;
+using core::Stage;
+
+std::string cifOf(const core::CompiledChip& chip) {
+  std::ostringstream os;
+  EXPECT_TRUE(reps::EmitterRegistry::global().emit(chip, "cif", os));
+  return os.str();
+}
+
+// ---------------------------------------------------------------- digest
+
+TEST(Digest, DeterministicAndSeparating) {
+  EXPECT_EQ(Digest::of("hello"), Digest::of("hello"));
+  EXPECT_NE(Digest::of("hello"), Digest::of("hellp"));
+  EXPECT_NE(Digest::of(""), Digest::of("a"));
+  // Length-delimited strings: ("ab","c") must not collide with ("a","bc").
+  EXPECT_NE(Digest{}.update("ab").update("c").value(),
+            Digest{}.update("a").update("bc").value());
+}
+
+TEST(Digest, TypedUpdates) {
+  EXPECT_EQ(Digest{}.update(42).value(), Digest{}.update(42).value());
+  EXPECT_NE(Digest{}.update(42).value(), Digest{}.update(43).value());
+  EXPECT_NE(Digest{}.update(true).value(), Digest{}.update(false).value());
+  EXPECT_NE(Digest{}.update(1.0).value(), Digest{}.update(1.0000000001).value());
+  EXPECT_EQ(Digest{}.update(2.5).value(), Digest{}.update(2.5).value());
+}
+
+TEST(Digest, HexIs16LowercaseDigits) {
+  const std::string h = Digest{}.update("chip").hex();
+  EXPECT_EQ(h.size(), 16u);
+  for (const char c : h) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << h;
+  }
+}
+
+// ----------------------------------------------- canonical hashing contract
+
+TEST(Fingerprint, CanonicalToStringIgnoresConstructionOrder) {
+  using namespace bb::icl;
+  // Same design, vars and params added in opposite orders.
+  const ChipDesc a = ChipBuilder("canon")
+                         .var("ALPHA", true)
+                         .var("BETA", false)
+                         .microcode(4, {field("op", 0, 3)})
+                         .dataWidth(4)
+                         .buses({"A", "B"})
+                         .element("register", "R0",
+                                  {{"in", sym("A")}, {"out", sym("B")},
+                                   {"load", expr("op==1")}, {"drive", expr("op==2")}})
+                         .buildOrDie();
+  const ChipDesc b = ChipBuilder("canon")
+                         .var("BETA", false)
+                         .var("ALPHA", true)
+                         .microcode(4, {field("op", 0, 3)})
+                         .dataWidth(4)
+                         .buses({"A", "B"})
+                         .element("register", "R0",
+                                  {{"drive", expr("op==2")}, {"load", expr("op==1")},
+                                   {"out", sym("B")}, {"in", sym("A")}})
+                         .buildOrDie();
+  EXPECT_EQ(a.toString(), b.toString());
+  EXPECT_EQ(Digest::of(a.toString()), Digest::of(b.toString()));
+  EXPECT_EQ(core::requestDigest(a, {}), core::requestDigest(b, {}));
+}
+
+TEST(Fingerprint, OptionsSensitivity) {
+  const CompileOptions base;
+  EXPECT_EQ(core::optionsFingerprint(base), core::optionsFingerprint(CompileOptions{}));
+
+  const CompileOptions withVar = CompileOptions::builder().var("PROTOTYPE", true).build();
+  const CompileOptions noRoto = CompileOptions::builder().rotoRouter(false).build();
+  const CompileOptions noOpt = CompileOptions::builder().optimizeDecoder(false).build();
+  const CompileOptions rail = CompileOptions::builder().railCapacityUaPerLambda(500).build();
+  EXPECT_NE(core::optionsFingerprint(base), core::optionsFingerprint(withVar));
+  EXPECT_NE(core::optionsFingerprint(base), core::optionsFingerprint(noRoto));
+  EXPECT_NE(core::optionsFingerprint(base), core::optionsFingerprint(noOpt));
+  EXPECT_NE(core::optionsFingerprint(base), core::optionsFingerprint(rail));
+}
+
+TEST(Fingerprint, StageFingerprintsIsolateTheirInputs) {
+  const CompileOptions base;
+  const CompileOptions noRoto = CompileOptions::builder().rotoRouter(false).build();
+  // A pass3-only edit fingerprints differently for pass3 and identically
+  // for every earlier stage.
+  EXPECT_EQ(core::stageOptionsFingerprint(Stage::Vote, base),
+            core::stageOptionsFingerprint(Stage::Vote, noRoto));
+  EXPECT_EQ(core::stageOptionsFingerprint(Stage::Pass1, base),
+            core::stageOptionsFingerprint(Stage::Pass1, noRoto));
+  EXPECT_EQ(core::stageOptionsFingerprint(Stage::Pass2, base),
+            core::stageOptionsFingerprint(Stage::Pass2, noRoto));
+  EXPECT_NE(core::stageOptionsFingerprint(Stage::Pass3, base),
+            core::stageOptionsFingerprint(Stage::Pass3, noRoto));
+  // Stages with no option inputs must still differ from each other.
+  EXPECT_NE(core::stageOptionsFingerprint(Stage::Parse, base),
+            core::stageOptionsFingerprint(Stage::Finalize, base));
+}
+
+TEST(Fingerprint, RequestDigestSeparatesDesignAndOptions) {
+  const icl::ChipDesc small = core::samples::smallChip(4);
+  const icl::ChipDesc wide = core::samples::smallChip(8);
+  const CompileOptions noRoto = CompileOptions::builder().rotoRouter(false).build();
+  EXPECT_EQ(core::requestDigest(small, {}), core::requestDigest(small, {}));
+  EXPECT_NE(core::requestDigest(small, {}), core::requestDigest(wide, {}));
+  EXPECT_NE(core::requestDigest(small, {}), core::requestDigest(small, noRoto));
+}
+
+// ----------------------------------------------------------------- cache
+
+svc::ChipHandle dummyChip() { return std::make_shared<core::CompiledChip>(); }
+
+TEST(ChipCache, HitMissAccountingAndLruEviction) {
+  svc::ChipCache cache(1000);
+  EXPECT_EQ(cache.find(1), nullptr);  // miss on empty
+
+  cache.insert(1, dummyChip(), 400);
+  cache.insert(2, dummyChip(), 400);
+  EXPECT_EQ(cache.bytes(), 800u);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(2), nullptr);
+
+  // Over budget: the least-recently-used entry (key 1 — key 2 was
+  // touched last... both touched; order is 2 most-recent after find(2))
+  cache.insert(3, dummyChip(), 400);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 800u);
+  EXPECT_EQ(cache.find(1), nullptr);  // evicted: coldest
+  EXPECT_NE(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+
+  // Touch 2 so 3 becomes coldest; the next insert evicts 3, not 2.
+  EXPECT_NE(cache.find(2), nullptr);
+  cache.insert(4, dummyChip(), 400);
+  EXPECT_EQ(cache.find(3), nullptr);
+  EXPECT_NE(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(4), nullptr);
+
+  const svc::CacheStats s = cache.stats();
+  EXPECT_EQ(s.insertions, 4u);
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes, 800u);
+  EXPECT_EQ(s.budgetBytes, 1000u);
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.misses, 0u);
+  EXPECT_GT(s.hitRate(), 0.0);
+  EXPECT_LT(s.hitRate(), 1.0);
+}
+
+TEST(ChipCache, OversizeEntryIsRefusedNotDestructive) {
+  svc::ChipCache cache(1000);
+  cache.insert(1, dummyChip(), 600);
+  cache.insert(2, dummyChip(), 2000);  // alone exceeds the budget
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find(1), nullptr);  // survivor untouched
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_EQ(cache.stats().rejectedOversize, 1u);
+}
+
+TEST(ChipCache, ReplacingAKeyKeepsByteAccountingRight) {
+  svc::ChipCache cache(1000);
+  cache.insert(7, dummyChip(), 300);
+  cache.insert(7, dummyChip(), 500);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 500u);
+}
+
+TEST(ChipCache, ZeroBudgetDisablesCaching) {
+  svc::ChipCache cache(0);
+  cache.insert(1, dummyChip(), 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(1), nullptr);
+}
+
+TEST(ChipCache, DefaultChargeUsesApproxBytes) {
+  const icl::ChipDesc desc = core::samples::smallChip(4);
+  auto compiled = core::compileChip(desc, {});
+  ASSERT_TRUE(compiled);
+  svc::ChipHandle chip(std::move(*compiled));
+  const std::size_t approx = chip->approxBytes();
+  EXPECT_GT(approx, sizeof(core::CompiledChip));
+
+  svc::ChipCache cache(approx * 2);
+  cache.insert(1, chip);
+  EXPECT_EQ(cache.bytes(), approx);
+}
+
+// ------------------------------------------------- incremental compilation
+
+TEST(IncrementalSession, Pass3EditRerunsOnlyPass3AndFinalize) {
+  const icl::ChipDesc desc = core::samples::smallChip(4);
+  core::CompileSession session(desc, {});
+  session.setIncremental(true);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+  for (const Stage s : core::kAllStages) EXPECT_EQ(session.executionCount(s), 1u);
+  const std::string before = cifOf(*session.chip());
+
+  const CompileOptions edited = CompileOptions::builder().rotoRouter(false).build();
+  const auto restarted = session.setOptions(edited);
+  ASSERT_TRUE(restarted.has_value());
+  EXPECT_EQ(*restarted, Stage::Pass3);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+
+  EXPECT_EQ(session.executionCount(Stage::Parse), 1u);
+  EXPECT_EQ(session.executionCount(Stage::Vote), 1u);
+  EXPECT_EQ(session.executionCount(Stage::Pass1), 1u);
+  EXPECT_EQ(session.executionCount(Stage::Pass2), 1u);
+  EXPECT_EQ(session.executionCount(Stage::Pass3), 2u);
+  EXPECT_EQ(session.executionCount(Stage::Finalize), 2u);
+
+  // The memoized rerun is bit-identical to a fresh full compile.
+  auto fresh = core::compileChip(desc, edited);
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(cifOf(*session.chip()), cifOf(**fresh));
+  EXPECT_NE(cifOf(*session.chip()), before);  // the edit really changed the mask
+}
+
+TEST(IncrementalSession, Pass2EditRerunsFromPass2) {
+  const icl::ChipDesc desc = core::samples::smallChip(4);
+  core::CompileSession session(desc, {});
+  session.setIncremental(true);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+
+  const CompileOptions edited = CompileOptions::builder().optimizeDecoder(false).build();
+  const auto restarted = session.setOptions(edited);
+  ASSERT_TRUE(restarted.has_value());
+  EXPECT_EQ(*restarted, Stage::Pass2);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+  EXPECT_EQ(session.executionCount(Stage::Pass1), 1u);
+  EXPECT_EQ(session.executionCount(Stage::Pass2), 2u);
+  EXPECT_EQ(session.executionCount(Stage::Pass3), 2u);
+
+  auto fresh = core::compileChip(desc, edited);
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(cifOf(*session.chip()), cifOf(**fresh));
+}
+
+TEST(IncrementalSession, VarEditRerunsFromVote) {
+  const icl::ChipDesc desc = core::samples::largeChip(8, 4);
+  core::CompileSession session(desc, {});
+  session.setIncremental(true);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+
+  const CompileOptions edited = CompileOptions::builder().var("PROTOTYPE", true).build();
+  const auto restarted = session.setOptions(edited);
+  ASSERT_TRUE(restarted.has_value());
+  EXPECT_EQ(*restarted, Stage::Vote);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+  EXPECT_EQ(session.executionCount(Stage::Parse), 1u);
+  EXPECT_EQ(session.executionCount(Stage::Vote), 2u);
+  EXPECT_EQ(session.executionCount(Stage::Pass1), 2u);
+
+  auto fresh = core::compileChip(desc, edited);
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(cifOf(*session.chip()), cifOf(**fresh));
+}
+
+TEST(IncrementalSession, UnchangedOptionsAreANoOp) {
+  core::CompileSession session(core::samples::smallChip(4), {});
+  session.setIncremental(true);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+  EXPECT_FALSE(session.setOptions(CompileOptions{}).has_value());
+  EXPECT_TRUE(session.finished());
+  for (const Stage s : core::kAllStages) EXPECT_EQ(session.executionCount(s), 1u);
+}
+
+TEST(IncrementalSession, DescriptionEditRerunsFromVote) {
+  core::CompileSession session(core::samples::smallChip(4), {});
+  session.setIncremental(true);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+
+  // Identical (canonically equal) description: every memo stays valid.
+  EXPECT_FALSE(session.setDescription(core::samples::smallChip(4)).has_value());
+  EXPECT_TRUE(session.finished());
+
+  const icl::ChipDesc wider = core::samples::smallChip(8);
+  const auto restarted = session.setDescription(wider);
+  ASSERT_TRUE(restarted.has_value());
+  EXPECT_EQ(*restarted, Stage::Vote);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+  EXPECT_EQ(session.executionCount(Stage::Parse), 1u);  // adoption memoized
+  EXPECT_EQ(session.executionCount(Stage::Vote), 2u);
+
+  auto fresh = core::compileChip(wider, {});
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(cifOf(*session.chip()), cifOf(**fresh));
+}
+
+TEST(IncrementalSession, WithoutMemoizationInvalidateDegradesToPass1) {
+  core::CompileSession session(core::samples::smallChip(4), {});
+  // memoization off: no pass1/pass2 checkpoints exist
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+  EXPECT_EQ(session.invalidateFrom(Stage::Pass3), Stage::Pass1);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+  EXPECT_EQ(session.executionCount(Stage::Vote), 1u);  // vote output memoized
+  EXPECT_EQ(session.executionCount(Stage::Pass1), 2u);
+
+  auto fresh = core::compileChip(core::samples::smallChip(4), {});
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(cifOf(*session.chip()), cifOf(**fresh));
+}
+
+TEST(IncrementalSession, SourceSessionsSupportIncrementalEdits) {
+  const icl::ChipDesc desc = core::samples::smallChip(4);
+  core::CompileSession session(desc.toString(), CompileOptions{});
+  session.setIncremental(true);
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+
+  const CompileOptions edited = CompileOptions::builder().rotoRouter(false).build();
+  ASSERT_TRUE(session.setOptions(edited).has_value());
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+  EXPECT_EQ(session.executionCount(Stage::Parse), 1u);  // never re-parsed
+
+  auto fresh = core::compileChip(desc, edited);
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(cifOf(*session.chip()), cifOf(**fresh));
+}
+
+TEST(IncrementalSession, OptionsEditBeforeRunningChangesNothing) {
+  core::CompileSession session(core::samples::smallChip(4), {});
+  session.setIncremental(true);
+  const CompileOptions edited = CompileOptions::builder().rotoRouter(false).build();
+  EXPECT_FALSE(session.setOptions(edited).has_value());  // nothing ran yet
+  ASSERT_TRUE(session.runTo(Stage::Finalize));
+  for (const Stage s : core::kAllStages) EXPECT_EQ(session.executionCount(s), 1u);
+
+  auto fresh = core::compileChip(core::samples::smallChip(4), edited);
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(cifOf(*session.chip()), cifOf(**fresh));
+}
+
+// --------------------------------------------------- emitter registry MT
+
+class NoopEmitter final : public reps::Emitter {
+ public:
+  explicit NoopEmitter(std::string name) : name_(std::move(name)) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] std::string_view fileExtension() const noexcept override { return "txt"; }
+  [[nodiscard]] std::string_view description() const noexcept override { return "noop"; }
+  void emit(const core::CompiledChip&, std::ostream& os) const override { os << "noop"; }
+
+ private:
+  std::string name_;
+};
+
+TEST(EmitterRegistryThreaded, ConcurrentReadersWhileRegistering) {
+  reps::EmitterRegistry reg;
+  reps::registerBuiltinEmitters(reg);
+  constexpr int kCustom = 64;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> lookups{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EXPECT_NE(reg.find("cif"), nullptr);
+        EXPECT_GE(reg.names().size(), 11u);
+        EXPECT_GE(reg.size(), 11u);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int i = 0; i < kCustom; ++i) {
+    reg.add(std::make_unique<NoopEmitter>("custom" + std::to_string(i)));
+    std::this_thread::yield();
+  }
+  stop = true;
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GT(lookups.load(), 0u);
+  for (int i = 0; i < kCustom; ++i) {
+    EXPECT_NE(reg.find("custom" + std::to_string(i)), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------- service
+
+TEST(CompileService, WarmRequestsHitTheCache) {
+  svc::CompileService service;
+  const auto req = svc::CompileRequest::ofDesc(core::samples::smallChip(4));
+
+  const svc::CompileResponse cold = service.compile(req);
+  ASSERT_TRUE(cold.ok()) << cold.diags.toString();
+  EXPECT_FALSE(cold.cacheHit);
+  EXPECT_NE(cold.key, 0u);
+
+  const svc::CompileResponse warm = service.compile(req);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.cacheHit);
+  EXPECT_EQ(warm.key, cold.key);
+  EXPECT_EQ(warm.chip.get(), cold.chip.get());  // the same immutable chip
+
+  const svc::ServiceStats s = service.stats();
+  EXPECT_EQ(s.compileRequests, 2u);
+  EXPECT_EQ(s.compilesExecuted, 1u);
+  EXPECT_EQ(s.cacheHits, 1u);
+  EXPECT_EQ(s.cacheMisses, 1u);
+}
+
+TEST(CompileService, OptionFingerprintMakesDifferentOptionsMiss) {
+  svc::CompileService service;
+  const icl::ChipDesc desc = core::samples::smallChip(4);
+  const auto a = service.compile(svc::CompileRequest::ofDesc(desc));
+  const auto b = service.compile(svc::CompileRequest::ofDesc(
+      desc, CompileOptions::builder().rotoRouter(false).build()));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.key, b.key);
+  EXPECT_FALSE(b.cacheHit);
+  EXPECT_EQ(service.stats().compilesExecuted, 2u);
+}
+
+TEST(CompileService, SourceAndTypedRequestsShareOneEntry) {
+  svc::CompileService service;
+  const icl::ChipDesc desc = core::samples::smallChip(4);
+  const auto typed = service.compile(svc::CompileRequest::ofDesc(desc));
+  ASSERT_TRUE(typed.ok());
+  const auto text =
+      service.compile(svc::CompileRequest::ofSource("small", desc.toString()));
+  ASSERT_TRUE(text.ok());
+  EXPECT_TRUE(text.cacheHit);
+  EXPECT_EQ(text.key, typed.key);
+  EXPECT_EQ(service.stats().compilesExecuted, 1u);
+}
+
+TEST(CompileService, ParseFailureCarriesDiagnostics) {
+  svc::CompileService service;
+  const auto resp = service.compile(svc::CompileRequest::ofSource("bad", "chip {{{"));
+  EXPECT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.diags.hasErrors());
+  EXPECT_EQ(resp.key, 0u);
+  EXPECT_EQ(service.stats().failures, 1u);
+  EXPECT_FALSE(service.keyFor(svc::CompileRequest::ofSource("bad", "chip {{{")).has_value());
+}
+
+TEST(CompileService, ConcurrentDuplicatesAreSingleFlighted) {
+  svc::CompileService service;
+  std::vector<svc::CompileRequest> reqs;
+  for (int i = 0; i < 16; ++i) {
+    reqs.push_back(svc::CompileRequest::ofDesc(core::samples::smallChip(4)));
+  }
+  const auto responses = service.compileAll(std::move(reqs));
+  ASSERT_EQ(responses.size(), 16u);
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.ok()) << r.diags.toString();
+    EXPECT_EQ(r.chip.get(), responses.front().chip.get());
+  }
+  // One compile total: everyone else hit the cache or waited on the twin.
+  const svc::ServiceStats s = service.stats();
+  EXPECT_EQ(s.compilesExecuted, 1u);
+  EXPECT_EQ(s.cacheHits + s.dedupedInFlight + s.compilesExecuted, 16u + s.dedupedInFlight);
+}
+
+TEST(CompileService, MixedBatchCompilesEachUniqueDesignOnce) {
+  svc::CompileService service;
+  std::vector<svc::CompileRequest> reqs;
+  for (int i = 0; i < 6; ++i) {
+    reqs.push_back(svc::CompileRequest::ofDesc(core::samples::smallChip(4)));
+    reqs.push_back(svc::CompileRequest::ofDesc(core::samples::smallChip(8)));
+  }
+  const auto responses = service.compileAll(std::move(reqs));
+  for (const auto& r : responses) ASSERT_TRUE(r.ok());
+  EXPECT_EQ(service.stats().compilesExecuted, 2u);
+}
+
+TEST(CompileService, ViewportOnWarmCacheRunsZeroCompileStages) {
+  svc::CompileService service;
+  const auto req = svc::CompileRequest::ofDesc(core::samples::smallChip(4));
+  const auto cold = service.compile(req);
+  ASSERT_TRUE(cold.ok());
+
+  // Full emission for reference (also a cache hit — chip already compiled).
+  const svc::EmitResponse full = service.emit(req, "cif");
+  ASSERT_TRUE(full.ok);
+  EXPECT_TRUE(full.cacheHit);
+
+  const geom::Rect bb = cold.chip->flatTop().bbox();
+  svc::ViewportRequest vp;
+  vp.chip = req;
+  vp.window = geom::Rect{bb.x0, bb.y0, bb.x0 + bb.width() / 4, bb.y0 + bb.height() / 4};
+  vp.tileSize = geom::lambda(200);
+  const std::uint64_t compilesBefore = service.stats().compilesExecuted;
+  const svc::EmitResponse tile = service.viewport(vp);
+  ASSERT_TRUE(tile.ok) << tile.diags.toString();
+  EXPECT_TRUE(tile.cacheHit);
+  EXPECT_EQ(service.stats().compilesExecuted, compilesBefore);  // zero stages ran
+  EXPECT_LT(tile.payload.size(), full.payload.size());  // output-sensitive
+  EXPECT_NE(tile.payload.find("DS"), std::string::npos);  // real CIF
+
+  const svc::ServiceStats s = service.stats();
+  EXPECT_EQ(s.viewportRequests, 1u);
+  EXPECT_EQ(s.emitRequests, 1u);  // viewport is not double-counted as emit
+}
+
+TEST(CompileService, WholeArtworkViewportMatchesPlainEmission) {
+  svc::CompileService service;
+  const auto req = svc::CompileRequest::ofDesc(core::samples::smallChip(4));
+  const svc::EmitResponse full = service.emit(req, "cif");
+  ASSERT_TRUE(full.ok);
+
+  svc::ViewportRequest vp;
+  vp.chip = req;  // window unset: whole artwork, single tile
+  const svc::EmitResponse whole = service.viewport(vp);
+  ASSERT_TRUE(whole.ok);
+  EXPECT_EQ(whole.payload, full.payload);
+}
+
+TEST(CompileService, UnknownFormatIsDiagnosedNotFatal) {
+  svc::CompileService service;
+  const auto resp =
+      service.emit(svc::CompileRequest::ofDesc(core::samples::smallChip(4)), "nope");
+  EXPECT_FALSE(resp.ok);
+  EXPECT_TRUE(resp.diags.hasErrors());
+}
+
+TEST(CompileService, EvictionKeepsServingCorrectChips) {
+  // A budget sized for roughly one chip: the second design evicts the
+  // first, and re-requesting the first recompiles it correctly.
+  const icl::ChipDesc a = core::samples::smallChip(4);
+  const icl::ChipDesc b = core::samples::smallChip(8);
+  auto probe = core::compileChip(a, {});
+  ASSERT_TRUE(probe);
+  svc::ServiceOptions opts;
+  opts.cacheBudgetBytes = (*probe)->approxBytes() * 3 / 2;
+  svc::CompileService service(opts);
+
+  ASSERT_TRUE(service.compile(svc::CompileRequest::ofDesc(a)).ok());
+  ASSERT_TRUE(service.compile(svc::CompileRequest::ofDesc(b)).ok());
+  const auto again = service.compile(svc::CompileRequest::ofDesc(a));
+  ASSERT_TRUE(again.ok());
+  EXPECT_GE(service.cache().stats().evictions + service.cache().stats().rejectedOversize,
+            1u);
+  // Whatever the eviction pattern, the served mask is always right.
+  auto fresh = core::compileChip(a, {});
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(cifOf(*again.chip), cifOf(**fresh));
+}
+
+}  // namespace
+}  // namespace bb
