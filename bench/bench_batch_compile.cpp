@@ -7,14 +7,25 @@
 /// bandwidth takes over (on a single-core box the table degenerates to
 /// "no speedup", which is itself the interesting datum).
 ///
+/// A second table runs the *mixed-size* workload (many small chips plus
+/// a few large ones, every job DRC-checked) through the pipelined
+/// scheduler against the whole-job reference. The interesting number is
+/// the p99 of per-job sojourn time (`BatchResult::finishedAfter`):
+/// whole-job scheduling lets small chips queue behind stragglers, while
+/// the pipelined scheduler interleaves stages and fans the last big
+/// chips' DRC out over the idle tail.
+///
 /// Env knobs: BB_BENCH_SMOKE=1 caps the job mix for CI (and skips the
 /// google-benchmark timings). Perf rows land in BENCH.json as
-/// `batch_src_t{N}` / `batch_desc_t{N}`.
+/// `batch_src_t{N}` / `batch_desc_t{N}` plus `batch_mixed_t{N}` /
+/// `batch_mixed_p99_t{N}` / `batch_mixed_whole_p99_t{N}`.
 
 #include "bench_util.hpp"
 
 #include "core/batch.hpp"
+#include "tech/rules.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <thread>
@@ -93,6 +104,84 @@ void printTable(bool smoke) {
   std::printf("(hardware concurrency: %u)\n\n", std::thread::hardware_concurrency());
 }
 
+/// The tail-latency workload: mostly small chips with a few big ones
+/// mixed in, every job DRC-checked against the shared Mead-Conway deck.
+std::vector<icl::ChipDesc> mixedMix(int copies) {
+  std::vector<icl::ChipDesc> descs;
+  for (int i = 0; i < copies; ++i) {
+    for (int w : {2, 4, 6, 8}) descs.push_back(core::samples::smallChip(w));
+    descs.push_back(core::samples::segmentedChip(8));
+    descs.push_back(core::samples::largeChip(16, 8));
+  }
+  return descs;
+}
+
+double p99Seconds(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::size_t idx = (xs.size() * 99) / 100;
+  if (idx >= xs.size()) idx = xs.size() - 1;
+  return xs[idx];
+}
+
+struct MixedRun {
+  double totalSeconds = 0;
+  double p99 = 0;  ///< p99 of per-job sojourn (finishedAfter), seconds
+};
+
+MixedRun runMixed(const std::vector<icl::ChipDesc>& descs, unsigned threads,
+                  core::BatchCompiler::Mode mode) {
+  core::BatchCompiler batch({}, threads, mode);
+  drc::DrcOptions dopts;
+  if (mode == core::BatchCompiler::Mode::WholeJob) {
+    dopts.threads = 1;  // the pre-pool reference: serial DRC per job
+  }
+  batch.withDrc(tech::meadConwayRules(), dopts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = batch.compileAll(descs);
+  MixedRun run;
+  run.totalSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::vector<double> sojourns;
+  sojourns.reserve(results.size());
+  for (const core::BatchResult& r : results) {
+    if (!r.ok() || !r.drc.has_value()) std::abort();
+    sojourns.push_back(std::chrono::duration<double>(r.finishedAfter).count());
+  }
+  run.p99 = p99Seconds(std::move(sojourns));
+  return run;
+}
+
+void printMixedTable(bool smoke) {
+  const std::vector<icl::ChipDesc> descs = mixedMix(smoke ? 1 : 4);
+  const auto jobs = static_cast<long long>(descs.size());
+
+  std::printf("== BATCH MIXED: small+large jobs with DRC, sojourn p99 (%lld jobs) ==\n",
+              jobs);
+  std::printf("%-30s %10s %12s %12s\n", "configuration", "seconds", "p99 ms",
+              "p99 gain");
+  for (const unsigned threads : {4u, 8u}) {
+    const MixedRun whole =
+        runMixed(descs, threads, core::BatchCompiler::Mode::WholeJob);
+    const MixedRun piped =
+        runMixed(descs, threads, core::BatchCompiler::Mode::Pipelined);
+    std::printf("whole-job,  %2u lanes          %10.3f %12.2f %11s\n", threads,
+                whole.totalSeconds, whole.p99 * 1e3, "--");
+    std::printf("pipelined,  %2u lanes          %10.3f %12.2f %11.2fx\n", threads,
+                piped.totalSeconds, piped.p99 * 1e3, whole.p99 / piped.p99);
+    bench::BenchJson::instance().recordRun("batch_mixed_t" + std::to_string(threads),
+                                           jobs, piped.totalSeconds);
+    // p99 rows: one "op" is one job's p99 sojourn; throughput is not
+    // meaningful for a percentile, so items_per_sec is recorded as 0.
+    bench::BenchJson::instance().record(
+        "batch_mixed_p99_t" + std::to_string(threads), jobs, piped.p99 * 1e9, 0);
+    bench::BenchJson::instance().record(
+        "batch_mixed_whole_p99_t" + std::to_string(threads), jobs, whole.p99 * 1e9, 0);
+  }
+  std::printf("(whole-job runs DRC serially per job; pipelined fans the tail "
+              "stragglers' rule units out over idle workers)\n\n");
+}
+
 void BM_SequentialCompile(benchmark::State& state) {
   const std::vector<std::string> sources = sourcesOf(descMix(1));
   for (auto _ : state) {
@@ -135,6 +224,7 @@ BENCHMARK(BM_BatchCompileDesc)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillise
 int main(int argc, char** argv) {
   const bool smoke = std::getenv("BB_BENCH_SMOKE") != nullptr;
   printTable(smoke);
+  printMixedTable(smoke);
   if (!bench::BenchJson::instance().write()) {
     std::fprintf(stderr, "FATAL: failed to land perf rows in BENCH.json (cause above)\n");
     return 1;

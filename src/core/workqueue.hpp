@@ -1,47 +1,35 @@
 /// \file workqueue.hpp
-/// The batch work-queue, factored out of BatchCompiler so every
-/// embarrassingly-parallel stage shares one scheduler: workers pull job
-/// indices from a shared atomic cursor, so stragglers never serialize
-/// the batch. Used by BatchCompiler (chips) and the DRC rule groups.
+/// Back-compat shim over the persistent thread-pool scheduler. The
+/// original runWorkQueue spawned and joined fresh `std::thread`s on
+/// every call — thread-creation thrash under the compile service's
+/// sustained load — and a throwing `fn` on a spawned worker called
+/// `std::terminate`. Every call now lands on
+/// `ThreadPool::global().parallelFor`, so:
+///
+///  * no call ever spawns a thread after pool warmup;
+///  * the first exception `fn` throws is rethrown on the caller after
+///    all workers drain, instead of terminating the process;
+///  * nested calls (a batch job whose DRC fans out rule groups) share
+///    the one process-wide thread budget instead of multiplying it —
+///    `threads` is a width limit on the shared pool, not a spawn count.
 
 #pragma once
 
-#include <algorithm>
-#include <atomic>
+#include "core/pool.hpp"
+
 #include <cstddef>
-#include <thread>
-#include <vector>
 
 namespace bb::core {
 
-/// Run `fn(i)` for every i in [0, jobs) on up to `threads` workers
-/// (0 = hardware concurrency). Blocks until all jobs finish. `fn` must
-/// be safe to call concurrently for distinct indices; with one worker it
-/// degenerates to a plain loop on the calling thread.
+/// Run `fn(i)` for every i in [0, jobs) up to `threads` wide (0 = full
+/// pool width) on the process-shared pool; the calling thread
+/// participates. Blocks until all jobs finish; with width 1 it
+/// degenerates to a plain loop on the calling thread. `fn` must be safe
+/// to call concurrently for distinct indices; its first exception is
+/// rethrown here once all workers have drained.
 template <typename Fn>
 void runWorkQueue(std::size_t jobs, unsigned threads, Fn&& fn) {
-  if (jobs == 0) return;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  const unsigned n = static_cast<unsigned>(
-      std::min<std::size_t>(threads, jobs));
-
-  std::atomic<std::size_t> cursor{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs) return;
-      fn(i);
-    }
-  };
-
-  if (n <= 1) {
-    worker();
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(n);
-  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  ThreadPool::global().parallelFor(jobs, 1, std::forward<Fn>(fn), threads);
 }
 
 }  // namespace bb::core

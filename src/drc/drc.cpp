@@ -272,53 +272,71 @@ std::string DrcReport::summary() const {
   return os.str();
 }
 
-DrcReport checkFlat(const cell::FlatLayout& flat, const geom::Rect& boundary,
-                    const tech::RuleDeck& deck, const DrcOptions& opts) {
+DeckChecker::DeckChecker(const tech::RuleDeck& deck, DrcOptions opts)
+    : deck_(&deck), opts_(opts) {
+  // Resolve the rule-unit plan once per (deck, options) pair: one
+  // independent unit per width rule and per spacing rule, plus the
+  // transistor and contact groups. A batch of jobs compiling under the
+  // same deck pays this setup once instead of per chip.
+  units_.reserve(deck.widths.size() + deck.spacings.size() + 2);
+  for (std::size_t i = 0; i < deck.widths.size(); ++i) {
+    units_.push_back({Unit::Kind::Width, i});
+  }
+  for (std::size_t i = 0; i < deck.spacings.size(); ++i) {
+    units_.push_back({Unit::Kind::Spacing, i});
+  }
+  if (opts_.checkTransistors) units_.push_back({Unit::Kind::Transistors, 0});
+  if (opts_.checkContacts) units_.push_back({Unit::Kind::Contacts, 0});
+}
+
+DrcReport DeckChecker::check(const cell::FlatLayout& flat, const geom::Rect& boundary) const {
+  return check(flat, boundary, opts_.threads);
+}
+
+DrcReport DeckChecker::check(const cell::FlatLayout& flat, const geom::Rect& boundary,
+                             unsigned threadsOverride) const {
   DrcReport rep;
   rep.shapesChecked = flat.totalCount();
 
-  // One independent unit per width rule and per spacing rule, plus the
-  // transistor and contact groups. Units share only the (const) flat
-  // layout and its prebuilt indexes, so they parallelize freely; results
-  // are concatenated in unit order, keeping violations in deck order no
-  // matter how many workers run.
-  std::vector<std::function<void(std::vector<Violation>&)>> units;
-  units.reserve(deck.widths.size() + deck.spacings.size() + 2);
-  for (const tech::WidthRule& wr : deck.widths) {
-    units.emplace_back([&flat, &opts, &wr](std::vector<Violation>& out) {
-      runWidthRule(wr, flat, opts, out);
-    });
-  }
-  for (const tech::SpacingRule& sr : deck.spacings) {
-    units.emplace_back([&flat, &boundary, &opts, &sr](std::vector<Violation>& out) {
-      runSpacingRule(sr, flat, boundary, opts, out);
-    });
-  }
-  if (opts.checkTransistors) {
-    units.emplace_back([&flat, &deck, &opts](std::vector<Violation>& out) {
-      runTransistorChecks(flat, deck, opts, out);
-    });
-  }
-  if (opts.checkContacts) {
-    units.emplace_back([&flat, &deck, &opts](std::vector<Violation>& out) {
-      runContactChecks(flat, deck, opts, out);
-    });
-  }
+  // Units share only the (const) flat layout and its prebuilt indexes,
+  // so they parallelize freely; results are concatenated in unit order,
+  // keeping violations in deck order no matter how many workers run.
+  const auto runUnit = [&](const Unit& u, std::vector<Violation>& out) {
+    switch (u.kind) {
+      case Unit::Kind::Width:
+        runWidthRule(deck_->widths[u.index], flat, opts_, out);
+        break;
+      case Unit::Kind::Spacing:
+        runSpacingRule(deck_->spacings[u.index], flat, boundary, opts_, out);
+        break;
+      case Unit::Kind::Transistors:
+        runTransistorChecks(flat, *deck_, opts_, out);
+        break;
+      case Unit::Kind::Contacts:
+        runContactChecks(flat, *deck_, opts_, out);
+        break;
+    }
+  };
 
-  std::vector<std::vector<Violation>> found(units.size());
-  if (opts.threads != 1 && units.size() > 1) {
+  std::vector<std::vector<Violation>> found(units_.size());
+  if (threadsOverride != 1 && units_.size() > 1) {
     // Lazy index building is not thread-safe; prewarm before fanning out.
-    if (opts.useSpatialIndex) flat.buildIndexes();
-    core::runWorkQueue(units.size(), opts.threads,
-                       [&](std::size_t i) { units[i](found[i]); });
+    if (opts_.useSpatialIndex) flat.buildIndexes();
+    core::runWorkQueue(units_.size(), threadsOverride,
+                       [&](std::size_t i) { runUnit(units_[i], found[i]); });
   } else {
-    for (std::size_t i = 0; i < units.size(); ++i) units[i](found[i]);
+    for (std::size_t i = 0; i < units_.size(); ++i) runUnit(units_[i], found[i]);
   }
   for (std::vector<Violation>& v : found) {
     rep.violations.insert(rep.violations.end(), std::make_move_iterator(v.begin()),
                           std::make_move_iterator(v.end()));
   }
   return rep;
+}
+
+DrcReport checkFlat(const cell::FlatLayout& flat, const geom::Rect& boundary,
+                    const tech::RuleDeck& deck, const DrcOptions& opts) {
+  return DeckChecker(deck, opts).check(flat, boundary);
 }
 
 DrcReport checkCell(const cell::Cell& c, const tech::RuleDeck& deck, const DrcOptions& opts) {

@@ -14,6 +14,7 @@
 #include "cell/flatten.hpp"
 #include "tech/rules.hpp"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,10 +43,14 @@ struct DrcOptions {
   /// bit-identical violations. Off runs the reference all-pairs scans,
   /// kept for the equivalence tests and the scaling benches.
   bool useSpatialIndex = true;
-  /// Worker threads for the independent rule groups (each width rule,
-  /// each spacing rule, the transistor and contact groups), scheduled on
-  /// the batch work-queue. 1 = serial, 0 = hardware concurrency.
-  /// Violations keep deck order regardless of thread count.
+  /// Width limit for the independent rule groups (each width rule, each
+  /// spacing rule, the transistor and contact groups) on the shared
+  /// persistent pool (`core::ThreadPool::global()`). 1 = serial, 0 =
+  /// full pool width. This is a *budget on one process-wide pool*, not
+  /// a thread count: a 4-wide service batch whose jobs each run DRC
+  /// with threads=0 still uses one pool — nesting never multiplies
+  /// threads the way the spawn-per-call scheduler did. Violations keep
+  /// deck order regardless of width.
   unsigned threads = 1;
 };
 
@@ -56,11 +61,51 @@ struct DrcReport {
   [[nodiscard]] std::string summary() const;
 };
 
+/// A checker bound to one (deck, options) pair, reusable across any
+/// number of chips: the rule-unit plan — one independent unit per width
+/// rule and per spacing rule, plus the transistor and contact groups —
+/// is resolved once at construction and shared by every `check()` call.
+/// This is the per-deck setup a batch of jobs compiling under the same
+/// `tech::RuleDeck` pays once instead of per chip (`BatchCompiler`'s
+/// DRC stage holds exactly one of these). The deck must outlive the
+/// checker; `check()` is const and safe to call concurrently for
+/// distinct layouts.
+class DeckChecker {
+ public:
+  explicit DeckChecker(const tech::RuleDeck& deck, DrcOptions opts = {});
+
+  /// Check pre-flattened artwork with an explicit abutment boundary.
+  /// `threadsOverride` replaces the bound options' width for that call
+  /// only (same shape as `DrcOptions::threads`: 1 = serial, 0 = full
+  /// pool width) — the batch tail uses it to fan a straggler chip's
+  /// rule groups out over idle pool workers.
+  [[nodiscard]] DrcReport check(const cell::FlatLayout& flat,
+                                const geom::Rect& boundary) const;
+  [[nodiscard]] DrcReport check(const cell::FlatLayout& flat, const geom::Rect& boundary,
+                                unsigned threadsOverride) const;
+
+  [[nodiscard]] const tech::RuleDeck& deck() const noexcept { return *deck_; }
+  [[nodiscard]] const DrcOptions& options() const noexcept { return opts_; }
+
+ private:
+  /// One independent, concurrently-runnable rule unit of the plan.
+  struct Unit {
+    enum class Kind : std::uint8_t { Width, Spacing, Transistors, Contacts };
+    Kind kind;
+    std::size_t index = 0;  ///< rule index within its deck family
+  };
+
+  const tech::RuleDeck* deck_;
+  DrcOptions opts_;
+  std::vector<Unit> units_;  ///< the shared per-deck plan
+};
+
 /// Check one cell (flattening its hierarchy) against the deck.
 [[nodiscard]] DrcReport checkCell(const cell::Cell& c, const tech::RuleDeck& deck,
                                   const DrcOptions& opts = {});
 
 /// Check pre-flattened artwork with an explicit abutment boundary.
+/// One-shot convenience over a throwaway `DeckChecker`.
 [[nodiscard]] DrcReport checkFlat(const cell::FlatLayout& flat, const geom::Rect& boundary,
                                   const tech::RuleDeck& deck, const DrcOptions& opts = {});
 

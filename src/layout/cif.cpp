@@ -119,7 +119,7 @@ std::string writeCif(const cell::FlatLayout& flat, const ViewOptions& view,
         wroteLayer = true;
       }
     };
-    v.forEachTile(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+    v.forEachTileParallel(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
       for (const geom::Rect& r : rs) {
         needLayer();
         os << "B " << r.width() << ' ' << r.height() << ' ' << r.center().x << ' '

@@ -249,7 +249,7 @@ std::vector<std::uint8_t> writeGds(const cell::FlatLayout& flat, const ViewOptio
   const auto polys = v.polygons();
   for (tech::Layer l : tech::kAllLayers) {
     const auto layer = static_cast<std::int16_t>(tech::gdsNumber(l));
-    v.forEachTile(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+    v.forEachTileParallel(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
       for (const geom::Rect& r : rs) {
         e.none(kBoundary);
         e.i16(kLayer, {layer});

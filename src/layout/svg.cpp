@@ -55,7 +55,7 @@ void emitFlat(std::ostringstream& os, const Mapper& m, const View& view, double 
                                tech::Layer::Poly,      tech::Layer::Contact, tech::Layer::Metal,
                                tech::Layer::Glass};
   for (tech::Layer l : order) {
-    view.forEachTile(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+    view.forEachTileParallel(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
       for (const geom::Rect& r : rs) emitRect(os, m, r, l, opacity);
     });
   }

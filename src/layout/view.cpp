@@ -1,5 +1,6 @@
 #include "layout/view.hpp"
 
+#include "core/pool.hpp"
 #include "geom/sweep.hpp"
 
 namespace bb::layout {
@@ -37,6 +38,35 @@ std::size_t View::tileOf(geom::Coord v, geom::Coord lo, geom::Coord pitch,
   return t < count ? t : count - 1;
 }
 
+void View::collectTile(const geom::RectIndex& idx, std::size_t tx, std::size_t ty,
+                       std::vector<int>& cand, std::vector<geom::Rect>& clipped,
+                       std::vector<geom::Rect>& out) const {
+  const geom::Rect tile = tileRect(tx, ty);
+  idx.queryTouching(tile, cand);
+  out.clear();
+  if (!opts_.merge) {
+    // Emit each rect from exactly one tile: the tile that contains
+    // its window-clamped lower-left corner. The candidates arrive in
+    // ascending source order, so with a single tile this degenerates
+    // to the raw-vector walk the pre-View writers did.
+    for (const int i : cand) {
+      const geom::Rect& r = idx.rect(static_cast<std::size_t>(i));
+      const geom::Coord ax = std::min(std::max(r.x0, window_.x0), window_.x1);
+      const geom::Coord ay = std::min(std::max(r.y0, window_.y0), window_.y1);
+      if (tileOf(ax, window_.x0, pitchX_, tilesX_) != tx) continue;
+      if (tileOf(ay, window_.y0, pitchY_, tilesY_) != ty) continue;
+      out.push_back(r);
+    }
+  } else {
+    clipped.clear();
+    for (const int i : cand) {
+      const geom::Rect& r = idx.rect(static_cast<std::size_t>(i));
+      if (const auto c = r.intersectWith(tile)) clipped.push_back(*c);
+    }
+    out = geom::sweep::unionRects(clipped);
+  }
+}
+
 void View::forEachTile(tech::Layer l, const TileFn& fn) const {
   const geom::RectIndex& idx = flat_->indexOn(l);
   std::vector<int> cand;
@@ -44,31 +74,33 @@ void View::forEachTile(tech::Layer l, const TileFn& fn) const {
   std::vector<geom::Rect> clipped;
   for (std::size_t ty = 0; ty < tilesY_; ++ty) {
     for (std::size_t tx = 0; tx < tilesX_; ++tx) {
-      const geom::Rect tile = tileRect(tx, ty);
-      idx.queryTouching(tile, cand);
-      tileRects.clear();
-      if (!opts_.merge) {
-        // Emit each rect from exactly one tile: the tile that contains
-        // its window-clamped lower-left corner. The candidates arrive in
-        // ascending source order, so with a single tile this degenerates
-        // to the raw-vector walk the pre-View writers did.
-        for (const int i : cand) {
-          const geom::Rect& r = idx.rect(static_cast<std::size_t>(i));
-          const geom::Coord ax = std::min(std::max(r.x0, window_.x0), window_.x1);
-          const geom::Coord ay = std::min(std::max(r.y0, window_.y0), window_.y1);
-          if (tileOf(ax, window_.x0, pitchX_, tilesX_) != tx) continue;
-          if (tileOf(ay, window_.y0, pitchY_, tilesY_) != ty) continue;
-          tileRects.push_back(r);
-        }
-      } else {
-        clipped.clear();
-        for (const int i : cand) {
-          const geom::Rect& r = idx.rect(static_cast<std::size_t>(i));
-          if (const auto c = r.intersectWith(tile)) clipped.push_back(*c);
-        }
-        tileRects = geom::sweep::unionRects(clipped);
-      }
+      collectTile(idx, tx, ty, cand, clipped, tileRects);
       fn(tx, ty, tileRects);
+    }
+  }
+}
+
+void View::forEachTileParallel(tech::Layer l, const TileFn& fn) const {
+  const std::size_t tiles = tileCount();
+  if (tiles <= 1) {
+    forEachTile(l, fn);
+    return;
+  }
+  // Force the layer's lazy index build on this thread before fanning
+  // out; afterwards every collect is a const read.
+  const geom::RectIndex& idx = flat_->indexOn(l);
+  std::vector<std::vector<geom::Rect>> buf(tiles);
+  core::ThreadPool::global().parallelFor(tiles, 1, [&](std::size_t t) {
+    // Per-worker scratch, reused across all tiles a worker collects.
+    thread_local std::vector<int> cand;
+    thread_local std::vector<geom::Rect> clipped;
+    collectTile(idx, t % tilesX_, t / tilesX_, cand, clipped, buf[t]);
+  });
+  // Stitch on the calling thread in the sequential walk's order, so the
+  // streamed output is byte-identical to forEachTile.
+  for (std::size_t ty = 0; ty < tilesY_; ++ty) {
+    for (std::size_t tx = 0; tx < tilesX_; ++tx) {
+      fn(tx, ty, buf[ty * tilesX_ + tx]);
     }
   }
 }

@@ -84,6 +84,17 @@ class View {
       std::function<void(std::size_t tx, std::size_t ty, const std::vector<geom::Rect>&)>;
   void forEachTile(tech::Layer l, const TileFn& fn) const;
 
+  /// `forEachTile` with the per-tile *collection* (index query, corner
+  /// filtering or clip+union) fanned out over the process-shared
+  /// `core::ThreadPool` into per-worker buffers. `fn` itself still runs
+  /// sequentially on the calling thread, in exactly `forEachTile`'s
+  /// deterministic tile order, so the streamed output is byte-identical
+  /// to the sequential walk — the writers switch between the two freely.
+  /// Single-tile views (the full-chip emission default) take the
+  /// sequential path unchanged; safe to call from inside a pool task
+  /// (nested parallelism shares the one pool budget).
+  void forEachTileParallel(tech::Layer l, const TileFn& fn) const;
+
   /// Layer `l`'s whole windowed geometry in one vector, in tile order
   /// (the streaming order flattened).
   [[nodiscard]] std::vector<geom::Rect> rectsOn(tech::Layer l) const;
@@ -98,6 +109,14 @@ class View {
   /// starting at `lo` with `count` tiles of pitch `pitch`.
   [[nodiscard]] static std::size_t tileOf(geom::Coord v, geom::Coord lo, geom::Coord pitch,
                                           std::size_t count) noexcept;
+
+  /// Collect tile (tx, ty)'s geometry for layer index `idx` into `out`
+  /// (`cand`/`clipped` are caller scratch). The shared kernel of the
+  /// sequential and parallel tile walks; const reads only, so distinct
+  /// tiles collect concurrently.
+  void collectTile(const geom::RectIndex& idx, std::size_t tx, std::size_t ty,
+                   std::vector<int>& cand, std::vector<geom::Rect>& clipped,
+                   std::vector<geom::Rect>& out) const;
 
   const cell::FlatLayout* flat_;
   ViewOptions opts_;

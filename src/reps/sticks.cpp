@@ -11,7 +11,7 @@ std::vector<Stick> sticksOf(const cell::FlatLayout& flat, const layout::ViewOpti
   const layout::View v{flat, view};
   std::vector<Stick> out;
   for (tech::Layer l : tech::kAllLayers) {
-    v.forEachTile(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+    v.forEachTileParallel(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
       for (const geom::Rect& r : rs) {
         Stick s;
         s.layer = l;

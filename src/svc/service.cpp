@@ -1,9 +1,11 @@
 #include "svc/service.hpp"
 
 #include "core/fingerprint.hpp"
-#include "core/workqueue.hpp"
+#include "core/pool.hpp"
 #include "icl/parser.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <utility>
 
@@ -107,24 +109,177 @@ CompileResponse CompileService::compile(const CompileRequest& req) {
     cache_.insert(resp.key, handle);
   }
   mergeInto(resp.diags, result.diagnostics());
-
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.compilesExecuted;
-    if (handle == nullptr) ++stats_.failures;
-    inflight_.erase(resp.key);
-  }
-  cv_.notify_all();
+  finishKey(resp.key, handle);
 
   resp.chip = std::move(handle);
   resp.latency = Clock::now() - t0;
   return resp;
 }
 
+void CompileService::finishKey(std::uint64_t key, const ChipHandle& handle) {
+  std::vector<std::function<void(const ChipHandle&)>> waiters;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.compilesExecuted;
+    if (handle == nullptr) ++stats_.failures;
+    inflight_.erase(key);
+    if (const auto it = keyWaiters_.find(key); it != keyWaiters_.end()) {
+      waiters = std::move(it->second);
+      keyWaiters_.erase(it);
+    }
+  }
+  cv_.notify_all();
+  for (const auto& w : waiters) w(handle);
+}
+
+/// One pipelined compileAll call: shared by every task the batch
+/// schedules. Lives on the calling thread's stack — `compileAll` does
+/// not return until `remaining` hits zero, so captured references into
+/// it stay valid for every task and parked callback.
+struct CompileService::BatchState {
+  std::vector<CompileRequest>& reqs;
+  std::vector<CompileResponse>& out;
+  core::TaskGroup group;
+  Clock::time_point start = Clock::now();
+  std::atomic<std::size_t> next{0};  ///< lane-admission cursor
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining;  ///< requests not yet retired; guarded by mu
+
+  BatchState(std::vector<CompileRequest>& reqs, std::vector<CompileResponse>& out)
+      : reqs(reqs), out(out), remaining(reqs.size()) {}
+};
+
+void CompileService::batchAdmit(BatchState& b) {
+  const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+  if (i >= b.reqs.size()) return;
+  b.group.run([this, &b, i] { batchStep(b, i); });
+}
+
+void CompileService::batchDone(BatchState& b, std::size_t i) {
+  b.out[i].latency = Clock::now() - b.start;  // sojourn, not service time
+  {
+    const std::lock_guard<std::mutex> lock(b.mu);
+    --b.remaining;
+  }
+  b.cv.notify_all();
+  batchAdmit(b);  // keep the lane busy
+}
+
+void CompileService::batchStep(BatchState& b, std::size_t i) {
+  // A retry (after a failed claimant) starts from a clean response;
+  // only the deduped flag survives, it records history.
+  const bool wasDeduped = b.out[i].deduped;
+  b.out[i] = CompileResponse{};
+  CompileResponse& resp = b.out[i];
+  resp.deduped = wasDeduped;
+
+  const CompileRequest& req = b.reqs[i];
+  const std::optional<icl::ChipDesc> desc = resolveDesc(req, resp.diags);
+  if (!desc.has_value()) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failures;
+    }
+    batchDone(b, i);
+    return;
+  }
+  resp.key = core::requestDigest(*desc, req.opts);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (ChipHandle hit = cache_.find(resp.key)) {
+      ++stats_.cacheHits;
+      resp.chip = std::move(hit);
+      resp.cacheHit = true;
+      lock.unlock();
+      batchDone(b, i);
+      return;
+    }
+    if (!inflight_.insert(resp.key).second) {
+      // A twin holds this key. Unlike `compile()`, don't block a pool
+      // task on it — park a callback and yield the thread; `finishKey`
+      // fires it with the claimant's outcome.
+      ++stats_.dedupedInFlight;
+      resp.deduped = true;
+      keyWaiters_[resp.key].push_back([this, &b, i](const ChipHandle& handle) {
+        if (handle != nullptr) {
+          {
+            const std::lock_guard<std::mutex> lock2(mu_);
+            ++stats_.cacheHits;
+          }
+          b.out[i].chip = handle;
+          b.out[i].cacheHit = true;
+          batchDone(b, i);
+        } else {
+          // Claimant failed: re-run the step (mirrors the blocking
+          // path's wake-and-recheck loop; this request may claim now).
+          b.group.run([this, &b, i] { batchStep(b, i); });
+        }
+      });
+      return;
+    }
+    ++stats_.cacheMisses;
+  }
+
+  // We claimed the key: compile as a chain of per-stage tasks so other
+  // requests' stages interleave with this one's.
+  batchStage(b, i, std::make_shared<core::CompileSession>(*desc, req.opts), resp.key);
+}
+
+void CompileService::batchStage(BatchState& b, std::size_t i,
+                                std::shared_ptr<core::CompileSession> sess,
+                                std::uint64_t key) {
+  sess->runNext();
+  if (!sess->failed() && !sess->finished()) {
+    b.group.run([this, &b, i, sess = std::move(sess), key] { batchStage(b, i, sess, key); });
+    return;
+  }
+  CompileResponse& resp = b.out[i];
+  ChipHandle handle;
+  if (sess->finished()) {
+    handle = ChipHandle(sess->takeChip());
+    if (opts_.prewarmChips) {
+      handle->flatTop().buildIndexes();
+      handle->flatCore().buildIndexes();
+    }
+    cache_.insert(key, handle);
+  }
+  mergeInto(resp.diags, sess->diagnostics());
+  finishKey(key, handle);
+  resp.chip = std::move(handle);
+  batchDone(b, i);
+}
+
 std::vector<CompileResponse> CompileService::compileAll(std::vector<CompileRequest> reqs) {
   std::vector<CompileResponse> out(reqs.size());
-  core::runWorkQueue(reqs.size(), opts_.threads,
-                     [&](std::size_t i) { out[i] = compile(reqs[i]); });
+  if (reqs.empty()) return out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.compileRequests += reqs.size();
+  }
+
+  core::ThreadPool& pool = core::ThreadPool::global();
+  const unsigned poolWidth = pool.workerCount() + 1;
+  const unsigned width =
+      opts_.threads == 0 ? poolWidth : std::min(opts_.threads, poolWidth);
+
+  BatchState b(reqs, out);
+  const std::size_t lanes = std::min<std::size_t>(width, reqs.size());
+  for (std::size_t l = 0; l < lanes; ++l) batchAdmit(b);
+
+  // The caller participates as a lane worker via group.wait(). The group
+  // can drain while requests are still parked on an external claimant's
+  // key (their callbacks arrive from that thread), so retire the batch
+  // on `remaining`, not on task count.
+  for (;;) {
+    b.group.wait();
+    std::unique_lock<std::mutex> lk(b.mu);
+    if (b.remaining == 0) break;
+    b.cv.wait_for(lk, std::chrono::milliseconds(1),
+                  [&] { return b.remaining == 0; });
+    if (b.remaining == 0) break;
+  }
   return out;
 }
 
@@ -174,8 +329,14 @@ EmitResponse CompileService::viewport(const ViewportRequest& req) {
 }
 
 ServiceStats CompileService::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats s;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  s.poolTasksExecuted = core::ThreadPool::global().tasksExecuted();
+  s.poolThreadsSpawned = core::ThreadPool::global().threadsSpawned();
+  return s;
 }
 
 }  // namespace bb::svc

@@ -13,9 +13,13 @@
 ///  * duplicate concurrent requests for the same key are single-flighted:
 ///    one thread compiles, the rest wait on the result instead of
 ///    burning cores on identical work;
-///  * `compileAll` fans a request batch out over `core::runWorkQueue`
-///    (the `BatchCompiler` scheduler) with every worker going through
-///    the cache and the single-flight gate;
+///  * `compileAll` runs a request batch as *pipelined stage tasks* on
+///    the process-shared `core::ThreadPool`: each request's compile is
+///    a chain of per-stage tasks, so one chip's parse overlaps another
+///    chip's pass2, every request still goes through the cache and the
+///    single-flight gate, and a request that dedups against an
+///    in-flight twin parks a completion callback instead of blocking a
+///    pool worker;
 ///  * `viewport` answers pan/zoom requests on cached chips by streaming
 ///    `layout::View` tiles through the `reps::EmitterOptions` path — a
 ///    warm viewport request runs zero compile stages (asserted by tests
@@ -36,17 +40,25 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 namespace bb::svc {
 
 struct ServiceOptions {
-  /// Worker width for `compileAll` (0 = hardware concurrency).
+  /// Lane width for `compileAll` on the process-shared
+  /// `core::ThreadPool` (0 = full pool width: workers + caller). A
+  /// *budget on one pool*, not a thread count: requests whose compiles
+  /// go parallel underneath (threaded DRC via `DrcOptions::threads`,
+  /// parallel tile emission) draw from the same pool, so nesting never
+  /// multiplies threads or oversubscribes the machine.
   unsigned threads = 0;
   /// Chip-cache byte budget (0 disables caching).
   std::size_t cacheBudgetBytes = 64ull << 20;
@@ -122,6 +134,13 @@ struct ServiceStats {
   std::uint64_t compilesExecuted = 0;  ///< full pipeline runs (cache misses)
   std::uint64_t dedupedInFlight = 0;   ///< requests that waited on a twin
   std::uint64_t failures = 0;          ///< compiles that produced no chip
+  /// Snapshot of `core::ThreadPool::global().tasksExecuted()` — total
+  /// pool tasks ever run process-wide (not just by this service).
+  std::uint64_t poolTasksExecuted = 0;
+  /// Snapshot of `threadsSpawned()`: worker threads ever created by the
+  /// shared pool. Flat across a warm serving phase proves the hot path
+  /// spawned zero threads (asserted by the service load bench).
+  std::uint64_t poolThreadsSpawned = 0;
 
   [[nodiscard]] double hitRate() const noexcept {
     const double total = static_cast<double>(cacheHits + cacheMisses);
@@ -140,9 +159,12 @@ class CompileService {
   /// same content address are single-flighted.
   [[nodiscard]] CompileResponse compile(const CompileRequest& req);
 
-  /// Fan a request mix out over the work-queue scheduler; responses come
-  /// back in request order. Failed requests carry diagnostics, never
-  /// abort the batch.
+  /// Run a request mix as pipelined stage tasks on the shared pool;
+  /// responses come back in request order, each `latency` measured from
+  /// `compileAll` entry (sojourn time). At most `ServiceOptions::threads`
+  /// lanes are admitted at once, but stages interleave freely across
+  /// lanes, so small requests stream past big ones. Failed requests
+  /// carry diagnostics, never abort the batch.
   [[nodiscard]] std::vector<CompileResponse> compileAll(std::vector<CompileRequest> reqs);
 
   /// Compile (or fetch) and emit in `format` with full emitter options.
@@ -165,15 +187,35 @@ class CompileService {
   [[nodiscard]] const ServiceOptions& options() const noexcept { return opts_; }
 
  private:
+  struct BatchState;
+
   [[nodiscard]] EmitResponse emitImpl(const CompileRequest& req, std::string_view format,
                                       const reps::EmitterOptions& eopts);
+
+  // Pipelined compileAll machinery: admit a lane, run one request's
+  // cache/claim step, chain its compile stages, retire it.
+  void batchAdmit(BatchState& b);
+  void batchStep(BatchState& b, std::size_t i);
+  void batchStage(BatchState& b, std::size_t i,
+                  std::shared_ptr<core::CompileSession> sess, std::uint64_t key);
+  void batchDone(BatchState& b, std::size_t i);
+
+  /// Retire a claimed key: record stats, publish the outcome to blocking
+  /// twins (cv_) and to parked batch waiters (their callbacks run here,
+  /// on the claimant's thread, after mu_ is released).
+  void finishKey(std::uint64_t key, const ChipHandle& handle);
 
   ServiceOptions opts_;
   ChipCache cache_;
 
-  mutable std::mutex mu_;  ///< guards stats_ and the in-flight set
+  mutable std::mutex mu_;  ///< guards stats_, in-flight set, key waiters
   std::condition_variable cv_;
   std::unordered_set<std::uint64_t> inflight_;
+  /// Parked completion callbacks of batch requests that deduped against
+  /// an in-flight key; invoked by `finishKey` with the claimant's result
+  /// (null handle = the claimant failed, waiters retry).
+  std::unordered_map<std::uint64_t, std::vector<std::function<void(const ChipHandle&)>>>
+      keyWaiters_;
   ServiceStats stats_;
 };
 

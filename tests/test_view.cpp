@@ -21,6 +21,7 @@
 #include <cmath>
 #include <cstdint>
 #include <sstream>
+#include <tuple>
 
 namespace bb {
 namespace {
@@ -104,6 +105,31 @@ TEST(View, TiledStreamEmitsEachRectExactlyOnce) {
   }
   // Streaming order is deterministic: two walks agree.
   EXPECT_EQ(v.rectsOn(Layer::Metal), v.rectsOn(Layer::Metal));
+}
+
+TEST(View, ParallelTileWalkIsByteIdenticalToSequential) {
+  const FlatLayout flat = makeFlat(400);
+  for (const bool merge : {false, true}) {
+    ViewOptions w;
+    w.tileSize = lambda(40);
+    w.merge = merge;
+    const View v{flat, w};
+    ASSERT_GT(v.tileCount(), 4u);
+    for (Layer l : tech::kAllLayers) {
+      // The parallel walk must stream the same (tx, ty, rects) sequence
+      // as the sequential one — same tiles, same order, same contents.
+      std::vector<std::tuple<std::size_t, std::size_t, std::vector<Rect>>> seq;
+      std::vector<std::tuple<std::size_t, std::size_t, std::vector<Rect>>> par;
+      v.forEachTile(l, [&](std::size_t tx, std::size_t ty, const std::vector<Rect>& rs) {
+        seq.emplace_back(tx, ty, rs);
+      });
+      v.forEachTileParallel(
+          l, [&](std::size_t tx, std::size_t ty, const std::vector<Rect>& rs) {
+            par.emplace_back(tx, ty, rs);
+          });
+      EXPECT_EQ(seq, par) << tech::layerName(l) << (merge ? " merged" : " unmerged");
+    }
+  }
 }
 
 TEST(View, TilePartitionCoversWindowExactly) {
