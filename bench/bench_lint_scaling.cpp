@@ -1,0 +1,141 @@
+/// LINT-SCALING — `bb::lint` ERC over a synthetic transistor array swept
+/// from 1k to 100k rects (the extract-scaling generator: diffusion strip,
+/// poly gate, metal strap, contact cut per device). Every size runs the
+/// rule set serially and fanned out over the shared pool; the reports
+/// must be byte-identical or the bench aborts — the determinism contract
+/// measured, not just asserted in unit tests.
+///
+/// Env knobs: BB_BENCH_SMOKE=1 caps the sweep for CI (and skips the
+/// google-benchmark timings).
+
+#include "bench_util.hpp"
+
+#include "cell/flatten.hpp"
+#include "lint/lint.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace bb;
+
+namespace {
+
+using geom::Coord;
+using geom::lambda;
+using geom::Rect;
+using tech::Layer;
+
+/// ~n rects of isolated transistors on a 12L-pitch grid (same fabric as
+/// bench_extract_scaling, so the two benches measure the same artwork).
+cell::FlatLayout makeFlat(std::size_t n) {
+  cell::FlatLayout flat;
+  const std::size_t units = std::max<std::size_t>(n / 4, 1);
+  auto& diff = flat.on(Layer::Diffusion);
+  auto& poly = flat.on(Layer::Poly);
+  auto& metal = flat.on(Layer::Metal);
+  auto& cuts = flat.on(Layer::Contact);
+  diff.reserve(units);
+  poly.reserve(units);
+  metal.reserve(units);
+  cuts.reserve(units);
+  const Coord pitch = lambda(12);
+  const auto k = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(units))));
+  std::size_t placed = 0;
+  for (std::size_t j = 0; j < k && placed < units; ++j) {
+    for (std::size_t i = 0; i < k && placed < units; ++i, ++placed) {
+      const Coord x = static_cast<Coord>(i) * pitch;
+      const Coord y = static_cast<Coord>(j) * pitch;
+      diff.emplace_back(x + lambda(2), y, x + lambda(4), y + lambda(10));
+      poly.emplace_back(x, y + lambda(4), x + lambda(6), y + lambda(6));
+      metal.emplace_back(x + lambda(1), y + lambda(8), x + lambda(5), y + lambda(10));
+      cuts.emplace_back(x + lambda(2), y + lambda(8), x + lambda(4), y + lambda(10));
+    }
+  }
+  return flat;
+}
+
+struct Run {
+  double seconds = 0;
+  std::size_t findings = 0;
+  std::string json;
+};
+
+Run runLint(const cell::FlatLayout& flat, unsigned threads) {
+  lint::LintOptions opts;
+  opts.minSeverity = icl::Severity::Note;  // every rule's output in the report
+  opts.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  const lint::LintReport rep = lint::lintFlat("bench", flat, {}, std::nullopt, opts);
+  Run run;
+  run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  run.findings = rep.findings.size();
+  run.json = rep.toJson();
+  return run;
+}
+
+void printTable(bool smoke) {
+  const std::vector<std::size_t> sizes = smoke
+                                             ? std::vector<std::size_t>{1000, 5000}
+                                             : std::vector<std::size_t>{1000, 5000, 20000,
+                                                                        50000, 100000};
+  std::printf("== LINT-SCALING: ERC rule fan-out, serial vs pooled ==\n");
+  std::printf("%8s %12s %12s %10s %10s\n", "rects", "serial_ms", "parallel_ms", "speedup",
+              "findings");
+  for (const std::size_t n : sizes) {
+    const cell::FlatLayout flat = makeFlat(n);
+    const Run serial = runLint(flat, 1);
+    const Run parallel = runLint(flat, 0);
+    bench::BenchJson::instance().recordRun("lint_serial", static_cast<long long>(n),
+                                           serial.seconds);
+    bench::BenchJson::instance().recordRun("lint_parallel", static_cast<long long>(n),
+                                           parallel.seconds);
+    if (serial.json != parallel.json) {
+      std::fprintf(stderr, "FATAL: parallel lint report diverged from serial at n=%zu\n", n);
+      std::abort();
+    }
+    std::printf("%8zu %12.2f %12.2f %9.1fx %10zu\n", n, serial.seconds * 1e3,
+                parallel.seconds * 1e3, serial.seconds / parallel.seconds, serial.findings);
+  }
+  std::printf("(reports byte-identical at every size and width)\n\n");
+}
+
+void BM_LintSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cell::FlatLayout flat = makeFlat(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runLint(flat, 1).findings);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LintSerial)->RangeMultiplier(4)->Range(1024, 65536)->Unit(benchmark::kMillisecond);
+
+void BM_LintParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cell::FlatLayout flat = makeFlat(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runLint(flat, 0).findings);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LintParallel)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("BB_BENCH_SMOKE") != nullptr;
+  printTable(smoke);
+  if (!bench::BenchJson::instance().write()) {
+    std::fprintf(stderr, "FATAL: failed to land perf rows in BENCH.json (cause above)\n");
+    return 1;
+  }
+  if (smoke) return 0;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -149,6 +149,9 @@ class Cell {
 
   /// The abutment box: explicit boundary if set, else the geometric bbox.
   [[nodiscard]] geom::Rect boundary() const noexcept;
+  /// True when `boundary()` is a declared abutment contract rather than
+  /// the implicit shape bbox (lint's boundary exemption needs to know).
+  [[nodiscard]] bool hasExplicitBoundary() const noexcept { return hasBoundary_; }
   /// Bounding box of all shapes and (transformed) sub-instances.
   [[nodiscard]] geom::Rect shapeBBox() const noexcept;
 

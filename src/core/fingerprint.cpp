@@ -29,11 +29,24 @@ void updatePass3(Digest& d, const CompileOptions& opts) {
 
 }  // namespace
 
+void updateDigest(Digest& d, const lint::LintOptions& opts) {
+  d.update(opts.enabled);
+  d.update(static_cast<std::uint8_t>(opts.minSeverity));
+  d.update(static_cast<std::uint64_t>(opts.rules.size()));
+  for (const std::string& r : opts.rules) d.update(std::string_view{r});
+  d.update(static_cast<std::uint64_t>(opts.suppress.size()));
+  for (const std::string& s : opts.suppress) d.update(std::string_view{s});
+  d.update(opts.boundaryConditions);
+  // opts.threads deliberately left out: reports are byte-identical at
+  // any fan-out width, so a width change must not re-run anything.
+}
+
 void updateDigest(Digest& d, const CompileOptions& opts) {
   updateVars(d, opts);
   updatePass1(d, opts);
   updatePass2(d, opts);
   updatePass3(d, opts);
+  updateDigest(d, opts.lint);
 }
 
 std::uint64_t optionsFingerprint(const CompileOptions& opts) {
@@ -49,8 +62,10 @@ std::uint64_t stageOptionsFingerprint(Stage s, const CompileOptions& opts) {
   d.update(static_cast<std::uint64_t>(s));
   switch (s) {
     case Stage::Parse:
-    case Stage::Finalize:
       break;  // no option inputs
+    case Stage::Finalize:
+      updateDigest(d, opts.lint);  // finalize runs the opt-in lint pass
+      break;
     case Stage::Vote:
       updateVars(d, opts);
       break;

@@ -25,8 +25,14 @@
 namespace bb::core {
 
 /// Fold every option field that can influence any stage into `d`
-/// (conditional-assembly vars and the three pass-option blocks).
+/// (conditional-assembly vars, the three pass-option blocks, and the
+/// lint block finalize consumes).
 void updateDigest(Digest& d, const CompileOptions& opts);
+
+/// Fold the result-affecting lint option fields into `d` (everything
+/// except the thread width, which never changes a report's bytes).
+/// Exposed for the service's lint-report cache key.
+void updateDigest(Digest& d, const lint::LintOptions& opts);
 
 /// Digest of the complete option set — the cache key's option half.
 [[nodiscard]] std::uint64_t optionsFingerprint(const CompileOptions& opts);

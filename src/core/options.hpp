@@ -8,6 +8,7 @@
 #include "core/pass1_core.hpp"
 #include "core/pass2_control.hpp"
 #include "core/pass3_pads.hpp"
+#include "lint/options.hpp"
 
 #include <map>
 #include <string>
@@ -22,6 +23,10 @@ struct CompileOptions {
   Pass1Options pass1;
   Pass2Options pass2;
   Pass3Options pass3;
+  /// Static design analysis run during finalize when `lint.enabled`;
+  /// findings join the session diagnostics and the full report is kept
+  /// on `CompileSession::lintReport()`.
+  lint::LintOptions lint;
 
   class Builder;
   [[nodiscard]] static Builder builder();
@@ -58,6 +63,22 @@ class CompileOptions::Builder {
   }
   Builder& ringGapLambda(geom::Coord gap) {
     opts_.pass3.ringGapLambda = gap;
+    return *this;
+  }
+  Builder& lint(bool on) {
+    opts_.lint.enabled = on;
+    return *this;
+  }
+  Builder& lintMinSeverity(icl::Severity floor) {
+    opts_.lint.minSeverity = floor;
+    return *this;
+  }
+  Builder& lintSuppress(std::string ruleOrInstance) {
+    opts_.lint.suppress.push_back(std::move(ruleOrInstance));
+    return *this;
+  }
+  Builder& lintOptions(lint::LintOptions lo) {
+    opts_.lint = std::move(lo);
     return *this;
   }
 

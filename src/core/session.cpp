@@ -3,6 +3,7 @@
 #include "cell/flatten.hpp"
 #include "core/fingerprint.hpp"
 #include "icl/parser.hpp"
+#include "lint/lint.hpp"
 
 #include <sstream>
 
@@ -149,8 +150,9 @@ Stage CompileSession::invalidateFrom(Stage want) {
       chip_ = std::make_unique<CompiledChip>(afterPass2_->clone());
       break;
     case Stage::Finalize:
-      break;  // finalize only rewrites stats; re-running it is idempotent
+      break;  // finalize rewrites stats + lint report; re-running is idempotent
   }
+  lintReport_.reset();  // finalize recomputes it (or leaves it unset)
   next_ = s;
   return s;
 }
@@ -158,7 +160,8 @@ Stage CompileSession::invalidateFrom(Stage want) {
 std::optional<Stage> CompileSession::setOptions(const CompileOptions& opts) {
   // The first stage whose option inputs changed is the first dirty one.
   std::optional<Stage> dirty;
-  for (const Stage s : {Stage::Vote, Stage::Pass1, Stage::Pass2, Stage::Pass3}) {
+  for (const Stage s :
+       {Stage::Vote, Stage::Pass1, Stage::Pass2, Stage::Pass3, Stage::Finalize}) {
     if (stageOptionsFingerprint(s, opts_) != stageOptionsFingerprint(s, opts)) {
       dirty = s;
       break;
@@ -254,6 +257,18 @@ bool CompileSession::execute(Stage s) {
       chip_->stats.shapeCount = chip_->flatTop().totalCount();
       chip_->stats.logicGates = chip_->logic.gates().size();
       chip_->stats.logicSignals = chip_->logic.signalCount();
+      lintReport_.reset();
+      if (opts_.lint.enabled) {
+        // Static design analysis over the finished chip. Findings join
+        // the session diagnostics (after every compile diagnostic — the
+        // deterministic interleave the diagnostics tests pin down); an
+        // Error-severity finding flags the design, not the compile, so
+        // the stage still succeeds and the chip stays available.
+        auto report =
+            std::make_shared<const lint::LintReport>(lint::lintChip(*chip_, opts_.lint));
+        report->toDiagnostics(diags_);
+        lintReport_ = std::move(report);
+      }
       return true;
     }
   }

@@ -25,6 +25,10 @@
 #include <string_view>
 #include <vector>
 
+namespace bb::lint {
+struct LintReport;
+}
+
 namespace bb::core {
 
 enum class Stage : std::uint8_t { Parse = 0, Vote, Pass1, Pass2, Pass3, Finalize };
@@ -163,6 +167,12 @@ class CompileSession {
   /// Take ownership of the finished chip (after finalize).
   [[nodiscard]] CompiledChipPtr takeChip();
 
+  /// The lint report finalize produced, when `CompileOptions::lint` was
+  /// enabled; null otherwise (or before finalize, or after a rollback).
+  [[nodiscard]] std::shared_ptr<const lint::LintReport> lintReport() const noexcept {
+    return lintReport_;
+  }
+
   [[nodiscard]] const CompileOptions& options() const noexcept { return opts_; }
 
  private:
@@ -198,6 +208,7 @@ class CompileSession {
   std::array<std::optional<icl::DiagnosticList>, kAllStages.size()> diagsBefore_;
   CompiledChipPtr afterPass1_;
   CompiledChipPtr afterPass2_;
+  std::shared_ptr<const lint::LintReport> lintReport_;
 };
 
 /// One-shot convenience: the whole pipeline over source text.

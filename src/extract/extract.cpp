@@ -302,17 +302,21 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
     return id;
   };
 
-  // Labels first, so named nets get their bristle names.
+  // Labels first, so named nets get their bristle names. Every label's
+  // resolution (or failure to resolve: net -1, an unconnected port) is
+  // recorded for the ERC rules.
+  res.labelBindings.reserve(labels.size());
   for (const NetLabel& lbl : labels) {
-    bool done = false;
+    int bound = -1;
     pieceSource.forTouching(Rect{lbl.at.x, lbl.at.y, lbl.at.x, lbl.at.y}, [&](int i) {
-      if (done) return;
+      if (bound >= 0) return;
       if (pieces[static_cast<std::size_t>(i)].layer == lbl.layer &&
           pieces[static_cast<std::size_t>(i)].r.contains(lbl.at)) {
-        res.netlist.rename(netOfPiece(i), lbl.name);
-        done = true;
+        bound = netOfPiece(i);
+        res.netlist.rename(bound, lbl.name);
       }
     });
+    res.labelBindings.push_back({lbl.name, lbl.layer, lbl.at, bound});
   }
 
   // --- 5. transistors --------------------------------------------------------
@@ -370,6 +374,30 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
   // touched it; materialize those nets so netCount reports true node count.
   for (std::size_t i = 0; i < pieces.size(); ++i) netOfPiece(static_cast<int>(i));
   res.netCount = rootToNet.size();
+
+  // --- 6. per-net ERC classification ---------------------------------------
+  res.netInfo.resize(res.netlist.nets().size());
+  const auto reachesBoundary = [&opts](const Rect& r) {
+    if (!opts.boundary) return false;
+    const Rect& b = *opts.boundary;
+    return r.x0 <= b.x0 || r.x1 >= b.x1 || r.y0 <= b.y0 || r.y1 >= b.y1;
+  };
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const Piece& p = pieces[i];
+    NetInfo& info = res.netInfo[static_cast<std::size_t>(netOfPiece(static_cast<int>(i)))];
+    if (info.pieces == 0) info.at = p.r.center();
+    ++info.pieces;
+    info.layerMask |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(p.layer));
+    info.touchesBoundary = info.touchesBoundary || reachesBoundary(p.r);
+  }
+  for (const netlist::Transistor& t : res.netlist.transistors()) {
+    if (t.gate >= 0) ++res.netInfo[static_cast<std::size_t>(t.gate)].gates;
+    if (t.source >= 0) ++res.netInfo[static_cast<std::size_t>(t.source)].terminals;
+    if (t.drain >= 0) ++res.netInfo[static_cast<std::size_t>(t.drain)].terminals;
+  }
+  for (std::size_t i = 0; i < res.netInfo.size(); ++i) {
+    res.netInfo[i].named = res.netlist.nets()[i].isNamed;
+  }
   return res;
 }
 

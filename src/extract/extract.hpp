@@ -37,6 +37,38 @@ struct ExtractOptions {
   /// indexes (near-linear, identical netlists). Off runs the reference
   /// all-pairs scans, kept for the equivalence tests and scaling benches.
   bool useSpatialIndex = true;
+  /// Abutment boundary for ERC classification. When set, a net with any
+  /// conductor piece reaching the boundary frame is marked
+  /// `NetInfo::touchesBoundary` — the paper's per-cell interface
+  /// contract: wiring that reaches the edge is connected on the far
+  /// side, so the ERC rules don't report it floating/undriven.
+  std::optional<geom::Rect> boundary;
+};
+
+/// Per-net classification, computed alongside the netlist. This is the
+/// raw material of the ERC rules (`bb::lint`): a gate load with no
+/// driving terminal is a floating input, a net with neither is dead
+/// geometry. Indexed by net id (`TransistorNetlist` net index).
+struct NetInfo {
+  std::size_t pieces = 0;     ///< conductor pieces merged into the net
+  std::size_t gates = 0;      ///< transistor gates on the net (loads)
+  std::size_t terminals = 0;  ///< transistor sources/drains (drivers)
+  bool named = false;         ///< a label resolved onto the net
+  /// A piece reaches the abutment boundary (`ExtractOptions::boundary`):
+  /// the net is interface wiring, connected on the far side by contract.
+  bool touchesBoundary = false;
+  std::uint8_t layerMask = 0; ///< bit per tech::Layer with a piece here
+  geom::Point at;             ///< representative location (first piece)
+};
+
+/// How one input label resolved: the net it landed on, or -1 when no
+/// conductor piece contains the label point on its layer (an
+/// unconnected declared port — ERC reports these).
+struct LabelBinding {
+  std::string name;
+  tech::Layer layer = tech::Layer::Metal;
+  geom::Point at;
+  int net = -1;
 };
 
 struct ExtractResult {
@@ -45,6 +77,10 @@ struct ExtractResult {
   std::size_t netCount = 0;
   /// Gates whose source/drain could not be resolved (degenerate layout).
   std::size_t unresolvedGates = 0;
+  /// Per-net ERC classification, indexed by net id.
+  std::vector<NetInfo> netInfo;
+  /// Resolution of every input label, in input order.
+  std::vector<LabelBinding> labelBindings;
 };
 
 /// Extract a cell (flattens hierarchy, labels nets from its bristles).

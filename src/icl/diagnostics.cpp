@@ -16,6 +16,14 @@ std::string Diagnostic::toString() const {
   return loc.toString() + ": " + sev + ": " + message;
 }
 
+std::size_t DiagnosticList::count(Severity s) const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
 bool DiagnosticList::hasErrors() const noexcept {
   for (const Diagnostic& d : diags_) {
     if (d.severity == Severity::Error) return true;

@@ -27,6 +27,11 @@ struct Diagnostic {
   [[nodiscard]] std::string toString() const;
 };
 
+/// Diagnostics accumulate in emission order and are never reordered:
+/// `all()[i]` was reported before `all()[i+1]`, whatever the severities.
+/// Merging (`append`) keeps that contract — the appended list's entries
+/// follow the existing ones in their own original order, so compile
+/// diagnostics and lint findings interleave deterministically.
 class DiagnosticList {
  public:
   void error(SourceLoc loc, std::string msg) {
@@ -38,8 +43,16 @@ class DiagnosticList {
   void note(SourceLoc loc, std::string msg) {
     diags_.push_back({Severity::Note, loc, std::move(msg)});
   }
+  /// Append a pre-built diagnostic (how lint findings arrive).
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  /// Append every entry of `other` after this list's entries, preserving
+  /// both relative orders (stable merge-by-concatenation).
+  void append(const DiagnosticList& other) {
+    diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+  }
 
   [[nodiscard]] bool hasErrors() const noexcept;
+  [[nodiscard]] std::size_t count(Severity s) const noexcept;
   [[nodiscard]] const std::vector<Diagnostic>& all() const noexcept { return diags_; }
   [[nodiscard]] std::string toString() const;
   void clear() noexcept { diags_.clear(); }

@@ -1,0 +1,40 @@
+/// \file options.hpp
+/// Options for the static design analyzer (`bb::lint`). Split from
+/// lint.hpp so `core::CompileOptions` can embed a `LintOptions` without
+/// dragging the rule framework (and the extraction stack behind it)
+/// into every core header.
+
+#pragma once
+
+#include "icl/diagnostics.hpp"
+
+#include <string>
+#include <vector>
+
+namespace bb::lint {
+
+struct LintOptions {
+  /// Run lint as part of `CompileSession` finalize (opt-in).
+  bool enabled = false;
+  /// Reporting floor. Severities order Error < Warning < Note; findings
+  /// strictly below the floor (numerically greater) are counted in
+  /// `LintReport::belowFloor` but not reported. The default floor hides
+  /// the Note-tier rules, whose patterns occur benignly in real chips.
+  icl::Severity minSeverity = icl::Severity::Warning;
+  /// Rules to run, by registry name; empty = every registered rule.
+  std::vector<std::string> rules;
+  /// Suppressions: "rule" silences a rule everywhere, "rule@path" one
+  /// object (paths as in `Finding::chipPath`, e.g. "small/net#12").
+  std::vector<std::string> suppress;
+  /// Honour the paper's abutment contract: a net whose geometry reaches
+  /// the core boundary is interface wiring, connected on the far side,
+  /// so the connectivity ERC rules do not report it. Off treats the
+  /// artwork as the entire circuit (right for standalone cells).
+  bool boundaryConditions = true;
+  /// Width budget on the shared `core::ThreadPool` for the rule fan-out
+  /// (1 = serial on the caller, 0 = full pool width). Reports are
+  /// byte-identical at any width, so this is never fingerprinted.
+  unsigned threads = 1;
+};
+
+}  // namespace bb::lint

@@ -1,0 +1,242 @@
+/// \file rules_erc.cpp
+/// Electrical-rule-check rules: analyses over the extracted transistor
+/// netlist of compiled (or hand-built) artwork. All of them read the
+/// per-net classification `extract::NetInfo` computed by the extractor,
+/// shared across rules through `LintContext::extraction()`.
+///
+/// Two exemptions keep real chips clean without losing defect
+/// sensitivity:
+///  * named nets (rails, clocks, ports — labelled by bristles) are
+///    driven/observed externally by definition;
+///  * nets touching the abutment boundary (`LintOptions::
+///    boundaryConditions`) are interface wiring, connected on the far
+///    side by the paper's per-cell contract — the same principle the
+///    DRC's boundary conditions apply to spacing.
+
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <string>
+
+namespace bb::lint {
+
+namespace {
+
+std::string netPath(const LintContext& ctx, std::size_t net) {
+  return ctx.chip() + "/net#" + std::to_string(net);
+}
+
+/// Skip nets outside the connectivity rules' jurisdiction (see intro).
+bool exempt(const extract::NetInfo& n) noexcept { return n.named || n.touchesBoundary; }
+
+std::string lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool isPowerName(const std::string& name) {
+  const std::string l = lowered(name);
+  return l == "vdd" || l == "vcc" || l == "pwr";
+}
+
+bool isGroundName(const std::string& name) {
+  const std::string l = lowered(name);
+  return l == "gnd" || l == "vss" || l == "ground";
+}
+
+/// Common shape of the per-net rules: scan `netInfo` in net order.
+class NetRule : public Rule {
+ public:
+  [[nodiscard]] bool needsArtwork() const noexcept final { return true; }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const final {
+    const extract::ExtractResult* ex = ctx.extraction();
+    if (ex == nullptr) return;
+    for (std::size_t i = 0; i < ex->netInfo.size(); ++i) checkNet(ctx, *ex, i, out);
+  }
+
+ protected:
+  virtual void checkNet(const LintContext& ctx, const extract::ExtractResult& ex,
+                        std::size_t net, std::vector<Finding>& out) const = 0;
+};
+
+class FloatingGateRule final : public NetRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "erc-floating-gate";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "a transistor gate on an isolated conductor piece — the input floats";
+  }
+
+ protected:
+  void checkNet(const LintContext& ctx, const extract::ExtractResult& ex, std::size_t net,
+                std::vector<Finding>& out) const override {
+    const extract::NetInfo& n = ex.netInfo[net];
+    if (exempt(n) || n.gates == 0 || n.terminals != 0 || n.pieces != 1) return;
+    out.push_back({std::string(name()), icl::Severity::Warning, {}, netPath(ctx, net),
+                   std::to_string(n.gates) +
+                       " gate(s) on a single disconnected conductor piece — the input floats",
+                   n.at, true});
+  }
+};
+
+class UndrivenNetRule final : public NetRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "erc-undriven-net"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "a wired net with gate loads but no driving source/drain";
+  }
+
+ protected:
+  void checkNet(const LintContext& ctx, const extract::ExtractResult& ex, std::size_t net,
+                std::vector<Finding>& out) const override {
+    const extract::NetInfo& n = ex.netInfo[net];
+    if (exempt(n) || n.gates == 0 || n.terminals != 0 || n.pieces < 2) return;
+    out.push_back({std::string(name()), icl::Severity::Warning, {}, netPath(ctx, net),
+                   "net of " + std::to_string(n.pieces) + " pieces drives " +
+                       std::to_string(n.gates) + " gate(s) but has no source/drain on it",
+                   n.at, true});
+  }
+};
+
+class UnloadedNetRule final : public NetRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "erc-unloaded-net"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "a net with transistor terminals but no gate listening";
+  }
+
+ protected:
+  void checkNet(const LintContext& ctx, const extract::ExtractResult& ex, std::size_t net,
+                std::vector<Finding>& out) const override {
+    const extract::NetInfo& n = ex.netInfo[net];
+    if (exempt(n) || n.terminals == 0 || n.gates != 0) return;
+    // Note tier: pass-transistor bus wiring legitimately has terminals
+    // with the listening gates elsewhere on the bus (every sample chip
+    // has such nets).
+    out.push_back({std::string(name()), icl::Severity::Note, {}, netPath(ctx, net),
+                   "net with " + std::to_string(n.terminals) +
+                       " source/drain terminal(s) reaches no gate",
+                   n.at, true});
+  }
+};
+
+class IsolatedIslandRule final : public NetRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "erc-isolated-island";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "conductor geometry connected to no transistor at all";
+  }
+
+ protected:
+  void checkNet(const LintContext& ctx, const extract::ExtractResult& ex, std::size_t net,
+                std::vector<Finding>& out) const override {
+    const extract::NetInfo& n = ex.netInfo[net];
+    if (exempt(n) || n.pieces == 0 || n.terminals != 0 || n.gates != 0) return;
+    out.push_back({std::string(name()), icl::Severity::Warning, {}, netPath(ctx, net),
+                   "island of " + std::to_string(n.pieces) +
+                       " conductor piece(s) connects to nothing",
+                   n.at, true});
+  }
+};
+
+class SelfGateRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "erc-self-connected-gate";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "an enhancement transistor whose gate is tied to its own source/drain";
+  }
+  [[nodiscard]] bool needsArtwork() const noexcept override { return true; }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const override {
+    const extract::ExtractResult* ex = ctx.extraction();
+    if (ex == nullptr) return;
+    const auto& trans = ex->netlist.transistors();
+    for (std::size_t i = 0; i < trans.size(); ++i) {
+      const netlist::Transistor& t = trans[i];
+      // Depletion devices strap gate to source by design (pull-up loads);
+      // on an enhancement switch the same strap is a diode-connected
+      // mistake in nMOS logic.
+      if (t.kind != netlist::TransKind::Enhancement || t.gate < 0) continue;
+      if (t.gate != t.source && t.gate != t.drain) continue;
+      out.push_back({std::string(name()), icl::Severity::Warning, {},
+                     ctx.chip() + "/transistor#" + std::to_string(i),
+                     "enhancement gate is tied to its own " +
+                         std::string(t.gate == t.source ? "source" : "drain"),
+                     t.at, true});
+    }
+  }
+};
+
+class RailShortRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "erc-rail-short"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "a power and a ground label resolving to the same electrical net";
+  }
+  [[nodiscard]] bool needsArtwork() const noexcept override { return true; }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const override {
+    const extract::ExtractResult* ex = ctx.extraction();
+    if (ex == nullptr) return;
+    // First power / ground label per net, in label order.
+    std::map<int, std::string> power;
+    std::map<int, std::string> ground;
+    for (const extract::LabelBinding& lb : ex->labelBindings) {
+      if (lb.net < 0) continue;
+      if (isPowerName(lb.name)) power.emplace(lb.net, lb.name);
+      if (isGroundName(lb.name)) ground.emplace(lb.net, lb.name);
+    }
+    for (const auto& [net, pname] : power) {
+      const auto g = ground.find(net);
+      if (g == ground.end()) continue;
+      out.push_back({std::string(name()), icl::Severity::Error, {},
+                     netPath(ctx, static_cast<std::size_t>(net)),
+                     "power label '" + pname + "' and ground label '" + g->second +
+                         "' resolve to the same net — supply short",
+                     ex->netInfo[static_cast<std::size_t>(net)].at, true});
+    }
+  }
+};
+
+class UnconnectedPortRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "erc-unconnected-port";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "a declared port label that lands on no conductor geometry";
+  }
+  [[nodiscard]] bool needsArtwork() const noexcept override { return true; }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const override {
+    const extract::ExtractResult* ex = ctx.extraction();
+    if (ex == nullptr) return;
+    for (const extract::LabelBinding& lb : ex->labelBindings) {
+      if (lb.net >= 0) continue;
+      out.push_back({std::string(name()), icl::Severity::Warning, {},
+                     ctx.chip() + "/port:" + lb.name,
+                     "port '" + lb.name + "' resolves to no conductor on its layer",
+                     lb.at, true});
+    }
+  }
+};
+
+}  // namespace
+
+void registerErcRules(RuleRegistry& reg) {
+  reg.add(std::make_unique<FloatingGateRule>());
+  reg.add(std::make_unique<UndrivenNetRule>());
+  reg.add(std::make_unique<UnloadedNetRule>());
+  reg.add(std::make_unique<IsolatedIslandRule>());
+  reg.add(std::make_unique<SelfGateRule>());
+  reg.add(std::make_unique<RailShortRule>());
+  reg.add(std::make_unique<UnconnectedPortRule>());
+}
+
+}  // namespace bb::lint

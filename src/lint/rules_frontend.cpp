@@ -1,0 +1,374 @@
+/// \file rules_frontend.cpp
+/// Frontend lint rules: analyses over the `icl::ChipDesc` alone —
+/// no compilation, no artwork. Each rule walks the description
+/// deterministically (declaration order; `std::map` params iterate in
+/// key order), so finding order is stable by construction.
+
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace bb::lint {
+
+namespace {
+
+using icl::ChipDesc;
+using icl::CondBlock;
+using icl::CoreItem;
+using icl::ElementDecl;
+using icl::ParamValue;
+
+/// Visit every element declaration, both branches of every conditional
+/// (lint reasons about the whole description, not one assembly).
+void forEachElement(const std::vector<CoreItem>& items,
+                    const std::function<void(const ElementDecl&)>& fn) {
+  for (const CoreItem& item : items) {
+    if (const auto* e = std::get_if<ElementDecl>(&item.node)) {
+      fn(*e);
+    } else if (const auto* c = std::get_if<CondBlock>(&item.node)) {
+      forEachElement(c->thenItems, fn);
+      forEachElement(c->elseItems, fn);
+    }
+  }
+}
+
+/// How an element kind touches buses, by parameter name. Mirrors the
+/// built-in element generators; unknown kinds are handled conservatively
+/// by the callers (any name param naming a bus counts as read+drive).
+struct BusParam {
+  const char* param;
+  bool reads;
+  bool drives;
+};
+
+const std::map<std::string_view, std::vector<BusParam>>& busTable() {
+  static const std::map<std::string_view, std::vector<BusParam>> kTable = {
+      {"inport", {{"bus", false, true}}},
+      {"outport", {{"bus", true, false}}},
+      {"register", {{"in", true, false}, {"out", false, true}}},
+      {"alu", {{"a", true, false}, {"b", true, false}, {"out", false, true}}},
+      {"regfile", {{"in", true, false}, {"out", false, true}}},
+      {"shifter", {{"in", true, false}, {"out", false, true}}},
+      {"constant", {{"bus", false, true}}},
+      {"busstop", {{"bus", false, false}}},  // segments the bus: a use, not an access
+      {"probe", {{"bus", true, false}}},
+  };
+  return kTable;
+}
+
+struct BusUse {
+  std::size_t reads = 0;
+  std::size_t drives = 0;
+  std::size_t other = 0;  ///< referenced without data flow (busstop)
+};
+
+std::map<std::string, BusUse> busUsage(const ChipDesc& desc) {
+  std::map<std::string, BusUse> use;
+  for (const std::string& b : desc.buses) use[b];
+  forEachElement(desc.core, [&use](const ElementDecl& e) {
+    const auto it = busTable().find(e.kind);
+    if (it != busTable().end()) {
+      for (const BusParam& bp : it->second) {
+        const ParamValue* v = e.param(bp.param);
+        if (v == nullptr || !v->isName()) continue;
+        const auto bu = use.find(v->asText());
+        if (bu == use.end()) continue;
+        if (bp.reads) ++bu->second.reads;
+        if (bp.drives) ++bu->second.drives;
+        if (!bp.reads && !bp.drives) ++bu->second.other;
+      }
+    } else {
+      // Unknown generator: any name parameter naming a bus might do
+      // anything with it — count both directions so the bus rules stay
+      // quiet rather than guessing wrong.
+      for (const auto& [pname, v] : e.params) {
+        (void)pname;
+        if (!v.isName()) continue;
+        const auto bu = use.find(v.asText());
+        if (bu == use.end()) continue;
+        ++bu->second.reads;
+        ++bu->second.drives;
+      }
+    }
+  });
+  return use;
+}
+
+/// All identifiers referenced by a parameter value: the whole text of a
+/// name param, identifier tokens of a quoted decode expression, lists
+/// recursively. This is how microcode-field references are found.
+void collectIdentifiers(const ParamValue& v, std::set<std::string>& out) {
+  if (v.isName()) {
+    out.insert(v.asText());
+  } else if (v.isString()) {
+    const std::string& s = v.asText();
+    std::size_t i = 0;
+    while (i < s.size()) {
+      if (std::isalpha(static_cast<unsigned char>(s[i])) != 0 || s[i] == '_') {
+        std::size_t j = i + 1;
+        while (j < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[j])) != 0 || s[j] == '_')) {
+          ++j;
+        }
+        out.insert(s.substr(i, j - i));
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  } else if (v.isList()) {
+    for (const ParamValue& e : v.asList()) collectIdentifiers(e, out);
+  }
+}
+
+int bitsFor(long long n) noexcept {
+  int bits = 0;
+  while ((1LL << bits) < n && bits < 62) ++bits;
+  return bits;
+}
+
+std::string busPath(const LintContext& ctx, const std::string& bus) {
+  return ctx.chip() + "/bus:" + bus;
+}
+
+// ---- the rules -----------------------------------------------------------
+
+class UnusedBusRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "front-unused-bus"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "a declared bus no core element references";
+  }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const override {
+    const auto use = busUsage(*ctx.desc());
+    for (const std::string& b : ctx.desc()->buses) {
+      const BusUse& u = use.at(b);
+      if (u.reads + u.drives + u.other == 0) {
+        out.push_back({std::string(name()), icl::Severity::Warning, {}, busPath(ctx, b),
+                       "bus '" + b + "' is declared but no element references it"});
+      }
+    }
+  }
+};
+
+class UndrivenBusRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "front-undriven-bus";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "a bus that elements read but nothing ever drives";
+  }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const override {
+    const auto use = busUsage(*ctx.desc());
+    for (const std::string& b : ctx.desc()->buses) {
+      const BusUse& u = use.at(b);
+      if (u.reads > 0 && u.drives == 0) {
+        out.push_back({std::string(name()), icl::Severity::Warning, {}, busPath(ctx, b),
+                       "bus '" + b + "' is read by " + std::to_string(u.reads) +
+                           " element(s) but nothing drives it"});
+      }
+    }
+  }
+};
+
+class UnreadBusRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "front-unread-bus"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "a bus that elements drive but nothing ever reads";
+  }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const override {
+    const auto use = busUsage(*ctx.desc());
+    for (const std::string& b : ctx.desc()->buses) {
+      const BusUse& u = use.at(b);
+      if (u.drives > 0 && u.reads == 0) {
+        // Note tier: write-only buses occur legitimately (observation
+        // buses, partially assembled prototypes).
+        out.push_back({std::string(name()), icl::Severity::Note, {}, busPath(ctx, b),
+                       "bus '" + b + "' is driven by " + std::to_string(u.drives) +
+                           " element(s) but nothing reads it"});
+      }
+    }
+  }
+};
+
+class UnusedFieldRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "front-unused-field";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "a microcode field no decode expression or element references";
+  }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const override {
+    std::set<std::string> referenced;
+    forEachElement(ctx.desc()->core, [&referenced](const ElementDecl& e) {
+      for (const auto& [pname, v] : e.params) {
+        (void)pname;
+        collectIdentifiers(v, referenced);
+      }
+    });
+    for (const icl::FieldDecl& f : ctx.desc()->microcode.fields) {
+      if (referenced.count(f.name) == 0) {
+        // Note tier: spare fields are routine in real microcode formats
+        // (the paper's own small chip reserves one).
+        out.push_back({std::string(name()), icl::Severity::Note, f.loc,
+                       ctx.chip() + "/field:" + f.name,
+                       "microcode field '" + f.name + "' [" + std::to_string(f.lo) + ":" +
+                           std::to_string(f.hi) + "] is never referenced"});
+      }
+    }
+  }
+};
+
+class DuplicateEffectRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "front-duplicate-effect";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "two parameters of one element with the identical decode expression";
+  }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const override {
+    forEachElement(ctx.desc()->core, [&](const ElementDecl& e) {
+      // params is a std::map: pairs come out in key order, deterministically.
+      for (auto a = e.params.begin(); a != e.params.end(); ++a) {
+        if (!a->second.isString()) continue;
+        for (auto b = std::next(a); b != e.params.end(); ++b) {
+          if (!b->second.isString() || a->second.asText() != b->second.asText()) continue;
+          out.push_back({std::string(name()), icl::Severity::Warning, e.loc,
+                         ctx.chip() + "/" + e.name,
+                         "parameters '" + a->first + "' and '" + b->first + "' of " + e.kind +
+                             " '" + e.name + "' have the identical decode \"" +
+                             a->second.asText() + "\" — both effects fire together"});
+        }
+      }
+    });
+  }
+};
+
+class DeadBranchRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "front-dead-branch"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "a conditional-assembly branch no variable assignment can reach";
+  }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const override {
+    std::map<std::string, bool> path;  // var -> value fixed on this path
+    walk(ctx, ctx.desc()->core, path, out);
+  }
+
+ private:
+  void walk(const LintContext& ctx, const std::vector<CoreItem>& items,
+            std::map<std::string, bool>& path, std::vector<Finding>& out) const {
+    for (const CoreItem& item : items) {
+      const auto* c = std::get_if<CondBlock>(&item.node);
+      if (c == nullptr) continue;
+      const auto known = path.find(c->var);
+      const bool fixed = known != path.end();
+      const bool fixedValue = fixed && known->second;
+      // The then branch runs when var == !negate, the else branch when
+      // var == negate. A path that already fixes the variable makes one
+      // of them unreachable under every assignment.
+      const bool thenDead = fixed && fixedValue != !c->negate;
+      const bool elseDead = fixed && fixedValue != c->negate;
+      const std::string guard = (c->negate ? "if !" : "if ") + c->var;
+      const auto restore = [&path, c, fixed, fixedValue] {
+        if (fixed) path[c->var] = fixedValue;
+        else path.erase(c->var);
+      };
+      const auto deadFinding = [&](std::string_view branch) {
+        out.push_back({std::string(name()), icl::Severity::Warning, c->loc,
+                       ctx.chip() + "/" + c->var,
+                       std::string(branch) + "-branch of '" + guard +
+                           "' is unreachable: an enclosing conditional already fixes " +
+                           c->var + " = " + (fixedValue ? "true" : "false")});
+      };
+      if (thenDead && !c->thenItems.empty()) {
+        deadFinding("then");  // report once, do not descend into dead code
+      } else if (!thenDead) {
+        path[c->var] = !c->negate;
+        walk(ctx, c->thenItems, path, out);
+        restore();
+      }
+      if (elseDead && !c->elseItems.empty()) {
+        deadFinding("else");
+      } else if (!elseDead && !c->elseItems.empty()) {
+        path[c->var] = c->negate;
+        walk(ctx, c->elseItems, path, out);
+        restore();
+      }
+    }
+  }
+};
+
+class WidthRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "front-width"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "suspicious bit positions, constants or field widths vs dataWidth";
+  }
+  void check(const LintContext& ctx, std::vector<Finding>& out) const override {
+    const ChipDesc& desc = *ctx.desc();
+    const long long dw = desc.dataWidth;
+    forEachElement(desc.core, [&](const ElementDecl& e) {
+      const std::string path = ctx.chip() + "/" + e.name;
+      if (e.kind == "probe") {
+        const ParamValue* bit = e.param("bit");
+        if (bit != nullptr && bit->isInt() && (bit->asInt() < 0 || bit->asInt() >= dw)) {
+          out.push_back({std::string(name()), icl::Severity::Warning, e.loc, path,
+                         "probe '" + e.name + "' watches bit " + std::to_string(bit->asInt()) +
+                             " of a " + std::to_string(dw) + "-bit bus"});
+        }
+      } else if (e.kind == "constant") {
+        const ParamValue* value = e.param("value");
+        if (value != nullptr && value->isInt() && dw > 0 && dw < 62 &&
+            (value->asInt() < 0 || value->asInt() >= (1LL << dw))) {
+          out.push_back({std::string(name()), icl::Severity::Warning, e.loc, path,
+                         "constant '" + e.name + "' value " + std::to_string(value->asInt()) +
+                             " does not fit in " + std::to_string(dw) + " bits"});
+        }
+      } else if (e.kind == "shifter") {
+        const ParamValue* dist = e.param("dist");
+        if (dist != nullptr && dist->isInt() && (dist->asInt() < 0 || dist->asInt() >= dw)) {
+          out.push_back({std::string(name()), icl::Severity::Warning, e.loc, path,
+                         "shifter '" + e.name + "' distance " + std::to_string(dist->asInt()) +
+                             " exceeds the " + std::to_string(dw) + "-bit data path"});
+        }
+      } else if (e.kind == "regfile") {
+        const ParamValue* n = e.param("n");
+        const ParamValue* select = e.param("select");
+        if (n != nullptr && n->isInt() && select != nullptr && select->isName()) {
+          const icl::FieldDecl* f = desc.microcode.field(select->asText());
+          if (f != nullptr && f->bits() < bitsFor(n->asInt())) {
+            out.push_back({std::string(name()), icl::Severity::Warning, e.loc, path,
+                           "regfile '" + e.name + "' select field '" + select->asText() +
+                               "' has " + std::to_string(f->bits()) + " bit(s) but " +
+                               std::to_string(n->asInt()) + " registers need " +
+                               std::to_string(bitsFor(n->asInt()))});
+          }
+        }
+      }
+    });
+  }
+};
+
+}  // namespace
+
+void registerFrontendRules(RuleRegistry& reg) {
+  reg.add(std::make_unique<UnusedBusRule>());
+  reg.add(std::make_unique<UndrivenBusRule>());
+  reg.add(std::make_unique<UnreadBusRule>());
+  reg.add(std::make_unique<UnusedFieldRule>());
+  reg.add(std::make_unique<DuplicateEffectRule>());
+  reg.add(std::make_unique<DeadBranchRule>());
+  reg.add(std::make_unique<WidthRule>());
+}
+
+}  // namespace bb::lint

@@ -3,6 +3,7 @@
 #include "core/fingerprint.hpp"
 #include "core/pool.hpp"
 #include "icl/parser.hpp"
+#include "lint/lint.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -312,6 +313,60 @@ EmitResponse CompileService::emitImpl(const CompileRequest& req, std::string_vie
   }
   resp.payload = std::move(os).str();
   resp.ok = true;
+  resp.latency = Clock::now() - t0;
+  return resp;
+}
+
+LintResponse CompileService::lint(const LintRequest& req) {
+  const auto t0 = Clock::now();
+  LintResponse resp;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lintRequests;
+  }
+
+  // Compile (or fetch) the chip *without* lint options: the chip cache
+  // entry is the same one plain compiles of this design use, so a warm
+  // cache answers with zero compile stages. (`bb::lint` is written out
+  // below because the member function shadows the namespace.)
+  CompileRequest creq = req.chip;
+  creq.opts.lint = bb::lint::LintOptions{};
+  CompileResponse compiled = compile(creq);
+  resp.diags = std::move(compiled.diags);
+  resp.chipKey = compiled.key;
+  resp.chipCacheHit = compiled.cacheHit;
+  if (!compiled.ok()) {
+    resp.latency = Clock::now() - t0;
+    return resp;
+  }
+
+  // Report key: the chip's content address folded with the
+  // result-affecting lint options (thread width excluded by design).
+  core::Digest d{compiled.key};
+  d.update(std::string_view{"bb-lint-report-v1"});
+  core::updateDigest(d, req.lint);
+  resp.key = d.value();
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = lintReports_.find(resp.key); it != lintReports_.end()) {
+      ++stats_.lintReportHits;
+      resp.report = it->second;
+      resp.reportCacheHit = true;
+    }
+  }
+  if (resp.report == nullptr) {
+    // Concurrent misses on one key may both analyze; the run is pure and
+    // deterministic, so the duplicated work is identical and harmless
+    // (no single-flight needed for an in-memory analysis).
+    auto report = std::make_shared<const bb::lint::LintReport>(
+        bb::lint::lintChip(*compiled.chip, req.lint));
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      lintReports_.emplace(resp.key, report);
+    }
+    resp.report = std::move(report);
+  }
   resp.latency = Clock::now() - t0;
   return resp;
 }

@@ -105,6 +105,29 @@ struct CompileResponse {
   [[nodiscard]] bool ok() const noexcept { return chip != nullptr; }
 };
 
+/// A lint request: identifies a chip like a compile request, plus the
+/// analysis options. Any `lint` block inside `chip.opts` is ignored —
+/// the chip is compiled *without* lint (sharing its cache entry with
+/// plain compiles of the same design) and the analysis is keyed and
+/// cached separately, so re-linting a warm chip under new rule options
+/// never re-runs a compile stage.
+struct LintRequest {
+  CompileRequest chip;
+  lint::LintOptions lint;
+};
+
+struct LintResponse {
+  std::shared_ptr<const lint::LintReport> report;  ///< null when the compile failed
+  icl::DiagnosticList diags;                       ///< compile diagnostics
+  std::uint64_t key = 0;      ///< report content address (chip key + lint options)
+  std::uint64_t chipKey = 0;  ///< the underlying chip's content address
+  bool chipCacheHit = false;   ///< the chip came from the cache (no stages ran)
+  bool reportCacheHit = false; ///< the report came from the report cache (no rules ran)
+  std::chrono::nanoseconds latency{};
+
+  [[nodiscard]] bool ok() const noexcept { return report != nullptr; }
+};
+
 /// A viewport (pan/zoom) request: identifies a chip like a compile
 /// request, plus the window to stream and the format to stream it in.
 struct ViewportRequest {
@@ -134,6 +157,8 @@ struct ServiceStats {
   std::uint64_t compilesExecuted = 0;  ///< full pipeline runs (cache misses)
   std::uint64_t dedupedInFlight = 0;   ///< requests that waited on a twin
   std::uint64_t failures = 0;          ///< compiles that produced no chip
+  std::uint64_t lintRequests = 0;
+  std::uint64_t lintReportHits = 0;    ///< lint answers served from the report cache
   /// Snapshot of `core::ThreadPool::global().tasksExecuted()` — total
   /// pool tasks ever run process-wide (not just by this service).
   std::uint64_t poolTasksExecuted = 0;
@@ -170,6 +195,12 @@ class CompileService {
   /// Compile (or fetch) and emit in `format` with full emitter options.
   [[nodiscard]] EmitResponse emit(const CompileRequest& req, std::string_view format,
                                   const reps::EmitterOptions& eopts = {});
+
+  /// Statically analyze the requested chip (compiling or fetching it
+  /// first). Reports are cached by chip key + lint-option fingerprint;
+  /// on a warm chip cache this runs zero compile stages, and on a warm
+  /// report cache zero rules.
+  [[nodiscard]] LintResponse lint(const LintRequest& req);
 
   /// The map-server endpoint: stream the requested window of the chip's
   /// artwork, tile by tile, through the windowed emitter path. On a warm
@@ -216,6 +247,11 @@ class CompileService {
   /// (null handle = the claimant failed, waiters retry).
   std::unordered_map<std::uint64_t, std::vector<std::function<void(const ChipHandle&)>>>
       keyWaiters_;
+  /// Lint reports by report key (chip key + lint-option fingerprint);
+  /// guarded by mu_. Reports are small (findings, not geometry), so no
+  /// byte budget — the chip cache's eviction pressure bounds variety.
+  /// (Qualified: the `lint` member function shadows the namespace here.)
+  std::unordered_map<std::uint64_t, std::shared_ptr<const bb::lint::LintReport>> lintReports_;
   ServiceStats stats_;
 };
 

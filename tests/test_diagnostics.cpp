@@ -1,0 +1,101 @@
+// icl::DiagnosticList ordering and merge semantics — the contract the
+// lint integration leans on: emission order is never reordered, append
+// is a stable concatenation, and severity counts match the entries.
+
+#include "icl/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace bb::icl;
+
+TEST(Diagnostics, EmissionOrderIsPreservedAcrossSeverities) {
+  DiagnosticList d;
+  d.note({1, 1}, "first");
+  d.error({2, 1}, "second");
+  d.warning({3, 1}, "third");
+  d.note({4, 1}, "fourth");
+  ASSERT_EQ(d.all().size(), 4u);
+  EXPECT_EQ(d.all()[0].message, "first");
+  EXPECT_EQ(d.all()[1].message, "second");
+  EXPECT_EQ(d.all()[2].message, "third");
+  EXPECT_EQ(d.all()[3].message, "fourth");
+  // Errors do not float to the front.
+  EXPECT_EQ(d.all()[0].severity, Severity::Note);
+  EXPECT_EQ(d.all()[1].severity, Severity::Error);
+}
+
+TEST(Diagnostics, AddAppendsPrebuiltEntries) {
+  DiagnosticList d;
+  d.warning({5, 2}, "compile warning");
+  Diagnostic lintFinding;
+  lintFinding.severity = Severity::Warning;
+  lintFinding.loc = {};
+  lintFinding.message = "[erc-floating-gate] chip/net#0: gate drives nothing";
+  d.add(lintFinding);
+  ASSERT_EQ(d.all().size(), 2u);
+  EXPECT_EQ(d.all()[1].message, lintFinding.message);
+  EXPECT_EQ(d.all()[1].loc.line, 0);  // "no location" survives verbatim
+}
+
+TEST(Diagnostics, AppendIsStableConcatenation) {
+  DiagnosticList compile;
+  compile.error({1, 1}, "c1");
+  compile.note({2, 1}, "c2");
+  DiagnosticList lint;
+  lint.warning({0, 0}, "l1");
+  lint.warning({0, 0}, "l2");
+  compile.append(lint);
+  ASSERT_EQ(compile.all().size(), 4u);
+  EXPECT_EQ(compile.all()[0].message, "c1");
+  EXPECT_EQ(compile.all()[1].message, "c2");
+  EXPECT_EQ(compile.all()[2].message, "l1");
+  EXPECT_EQ(compile.all()[3].message, "l2");
+  // The source list is untouched.
+  EXPECT_EQ(lint.all().size(), 2u);
+}
+
+TEST(Diagnostics, AppendEmptyAndAppendToEmpty) {
+  DiagnosticList a;
+  DiagnosticList b;
+  b.error({1, 1}, "only");
+  a.append(b);
+  ASSERT_EQ(a.all().size(), 1u);
+  a.append(DiagnosticList{});
+  EXPECT_EQ(a.all().size(), 1u);
+}
+
+TEST(Diagnostics, CountAndHasErrors) {
+  DiagnosticList d;
+  EXPECT_FALSE(d.hasErrors());
+  EXPECT_EQ(d.count(Severity::Error), 0u);
+  d.warning({1, 1}, "w");
+  d.note({1, 2}, "n");
+  d.note({1, 3}, "n2");
+  EXPECT_FALSE(d.hasErrors());
+  EXPECT_EQ(d.count(Severity::Warning), 1u);
+  EXPECT_EQ(d.count(Severity::Note), 2u);
+  d.error({2, 1}, "e");
+  EXPECT_TRUE(d.hasErrors());
+  EXPECT_EQ(d.count(Severity::Error), 1u);
+
+  DiagnosticList more;
+  more.error({3, 1}, "e2");
+  d.append(more);
+  EXPECT_EQ(d.count(Severity::Error), 2u);
+
+  d.clear();
+  EXPECT_FALSE(d.hasErrors());
+  EXPECT_EQ(d.all().size(), 0u);
+}
+
+TEST(Diagnostics, ToStringListsEveryEntryInOrder) {
+  DiagnosticList d;
+  d.error({1, 2}, "alpha");
+  d.warning({3, 4}, "beta");
+  const std::string s = d.toString();
+  const auto a = s.find("alpha");
+  const auto b = s.find("beta");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+}

@@ -47,10 +47,10 @@ TEST(Lexer, TokensAndComments) {
 
 TEST(Lexer, ErrorsReported) {
   DiagnosticList d;
-  tokenize("\"unterminated", d);
+  (void)tokenize("\"unterminated", d);
   EXPECT_TRUE(d.hasErrors());
   DiagnosticList d2;
-  tokenize("@", d2);
+  (void)tokenize("@", d2);
   EXPECT_TRUE(d2.hasErrors());
 }
 
@@ -194,17 +194,17 @@ TEST(Decode, ErrorsDiagnosed) {
   const MicrocodeDecl m = mc8();
   {
     DiagnosticList d;
-    compileDecode("nosuch==1", m, d);
+    (void)compileDecode("nosuch==1", m, d);
     EXPECT_TRUE(d.hasErrors());
   }
   {
     DiagnosticList d;
-    compileDecode("op", m, d);  // bare multi-bit field
+    (void)compileDecode("op", m, d);  // bare multi-bit field
     EXPECT_TRUE(d.hasErrors());
   }
   {
     DiagnosticList d;
-    compileDecode("op==9", m, d);  // out of range
+    (void)compileDecode("op==9", m, d);  // out of range
     EXPECT_TRUE(d.hasErrors());
   }
 }

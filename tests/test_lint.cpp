@@ -1,0 +1,451 @@
+// bb::lint — the static design analyzer. Covers the acceptance gates of
+// the lint milestone: every sample chip lints clean at the default
+// severity floor; each seeded defect produces exactly the expected
+// finding; parallel rule fan-out is byte-identical to serial; lint
+// integrates with CompileSession (finalize hook, incremental re-runs)
+// and CompileService (report cache over the chip cache).
+
+#include "core/samples.hpp"
+#include "core/session.hpp"
+#include "lint/lint.hpp"
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace bb;
+using geom::Rect;
+using tech::Layer;
+
+namespace {
+
+geom::Coord L(int n) { return geom::lambda(n); }
+
+/// One bristle on `c` labeling a point of the artwork.
+void label(cell::Cell& c, std::string name, cell::BristleFlavor flavor, Layer layer,
+           geom::Point at) {
+  cell::Bristle b;
+  b.name = std::move(name);
+  b.flavor = flavor;
+  b.layer = layer;
+  b.pos = at;
+  c.addBristle(std::move(b));
+}
+
+/// A cell with one healthy enhancement transistor: horizontal diffusion
+/// crossed by a vertical poly gate, everything labelled and driven.
+cell::Cell floatingGateCell() {
+  cell::Cell c("defect_float");
+  c.addRect(Layer::Diffusion, Rect{0, L(4), L(20), L(6)});
+  c.addRect(Layer::Poly, Rect{L(9), 0, L(11), L(10)});  // gate poly touches nothing else
+  return c;
+}
+
+const char* kExpectedRules[] = {
+    "erc-floating-gate",   "erc-isolated-island",   "erc-rail-short",
+    "erc-self-connected-gate", "erc-unconnected-port", "erc-undriven-net",
+    "erc-unloaded-net",    "front-dead-branch",     "front-duplicate-effect",
+    "front-undriven-bus",  "front-unread-bus",      "front-unused-bus",
+    "front-unused-field",  "front-width",
+};
+
+}  // namespace
+
+// ---- registry ------------------------------------------------------------
+
+TEST(LintRegistry, GlobalHasEveryBuiltinRule) {
+  lint::RuleRegistry& reg = lint::RuleRegistry::global();
+  for (const char* name : kExpectedRules) {
+    const lint::Rule* r = reg.find(name);
+    ASSERT_NE(r, nullptr) << name;
+    EXPECT_EQ(r->name(), name);
+    EXPECT_FALSE(r->description().empty());
+  }
+  EXPECT_EQ(reg.find("no-such-rule"), nullptr);
+}
+
+TEST(LintRegistry, NamesAreSortedAndIsolatedRegistriesWork) {
+  lint::RuleRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  lint::registerBuiltinRules(reg);
+  EXPECT_EQ(reg.size(), std::size(kExpectedRules));
+  const auto names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(names.size(), std::size(kExpectedRules));
+}
+
+namespace {
+
+class ShadowRule final : public lint::Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "erc-floating-gate";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override { return "shadow"; }
+  void check(const lint::LintContext&, std::vector<lint::Finding>&) const override {}
+};
+
+}  // namespace
+
+TEST(LintRegistry, LaterRegistrationShadowsEarlier) {
+  lint::RuleRegistry reg;
+  lint::registerBuiltinRules(reg);
+  reg.add(std::make_unique<ShadowRule>());
+  const lint::Rule* r = reg.find("erc-floating-gate");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->description(), "shadow");
+  // names() dedups: the shadowed name appears once.
+  const auto names = reg.names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "erc-floating-gate"), 1);
+}
+
+// ---- samples lint clean --------------------------------------------------
+
+TEST(Lint, AllSampleChipsLintCleanAtDefaultSeverity) {
+  for (const icl::ChipDesc& desc :
+       {core::samples::smallChip(), core::samples::largeChip(),
+        core::samples::prototypeChip(), core::samples::segmentedChip()}) {
+    auto compiled = core::compileChip(desc);
+    ASSERT_TRUE(compiled) << desc.name;
+    const lint::LintReport rep = lint::lintChip(**compiled);
+    EXPECT_TRUE(rep.clean()) << desc.name << ":\n" << rep.summary();
+    EXPECT_EQ(rep.rulesRun.size(), std::size(kExpectedRules)) << desc.name;
+    // The Note-tier patterns do occur on real chips — that is exactly
+    // why they are below the default floor.
+    EXPECT_GT(rep.belowFloor, 0u) << desc.name;
+  }
+}
+
+// ---- seeded defects ------------------------------------------------------
+
+TEST(LintSeeded, FloatingGateIsReportedByExactlyThatRule) {
+  const lint::LintReport rep = lint::lintCell(floatingGateCell());
+  ASSERT_EQ(rep.findings.size(), 1u) << rep.summary();
+  EXPECT_EQ(rep.findings[0].rule, "erc-floating-gate");
+  EXPECT_EQ(rep.findings[0].severity, icl::Severity::Warning);
+  EXPECT_TRUE(rep.findings[0].hasAt);
+}
+
+TEST(LintSeeded, RailShortIsReportedByExactlyThatRule) {
+  cell::Cell c("defect_short");
+  c.addRect(Layer::Metal, Rect{0, 0, L(30), L(4)});  // one strap shorting both rails
+  label(c, "vdd", cell::BristleFlavor::Power, Layer::Metal, {L(1), L(2)});
+  label(c, "gnd", cell::BristleFlavor::Ground, Layer::Metal, {L(29), L(2)});
+  const lint::LintReport rep = lint::lintCell(c);
+  ASSERT_EQ(rep.findings.size(), 1u) << rep.summary();
+  EXPECT_EQ(rep.findings[0].rule, "erc-rail-short");
+  EXPECT_EQ(rep.findings[0].severity, icl::Severity::Error);
+}
+
+TEST(LintSeeded, SelfConnectedGateIsReportedByExactlyThatRule) {
+  cell::Cell c("defect_selfgate");
+  c.addRect(Layer::Diffusion, Rect{0, L(4), L(20), L(6)});
+  c.addRect(Layer::Poly, Rect{L(9), 0, L(11), L(10)});
+  // Strap the gate poly onto its own drain in metal: contact on the
+  // gate's poly tail, metal over to the drain end, contact down.
+  c.addRect(Layer::Contact, Rect{L(9), L(8), L(11), L(10)});
+  c.addRect(Layer::Metal, Rect{L(9), L(8), L(19), L(10)});
+  c.addRect(Layer::Metal, Rect{L(17), L(4), L(19), L(10)});
+  c.addRect(Layer::Contact, Rect{L(17), L(4), L(19), L(6)});
+  const lint::LintReport rep = lint::lintCell(c);
+  ASSERT_EQ(rep.findings.size(), 1u) << rep.summary();
+  EXPECT_EQ(rep.findings[0].rule, "erc-self-connected-gate");
+}
+
+TEST(LintSeeded, IsolatedIslandIsReportedByExactlyThatRule) {
+  cell::Cell c("defect_island");
+  c.addRect(Layer::Metal, Rect{0, 0, L(6), L(2)});  // connects to nothing
+  const lint::LintReport rep = lint::lintCell(c);
+  ASSERT_EQ(rep.findings.size(), 1u) << rep.summary();
+  EXPECT_EQ(rep.findings[0].rule, "erc-isolated-island");
+}
+
+TEST(LintSeeded, UnconnectedPortIsReportedByExactlyThatRule) {
+  cell::Cell c("defect_port");
+  c.addRect(Layer::Metal, Rect{0, 0, L(6), L(2)});
+  label(c, "out", cell::BristleFlavor::PadOut, Layer::Metal, {L(20), L(20)});  // off-strap
+  lint::LintOptions opts;
+  opts.suppress = {"erc-isolated-island"};  // the strap itself is a deliberate island here
+  const lint::LintReport rep = lint::lintCell(c, opts);
+  ASSERT_EQ(rep.findings.size(), 1u) << rep.summary();
+  EXPECT_EQ(rep.findings[0].rule, "erc-unconnected-port");
+  EXPECT_EQ(rep.suppressed, 1u);
+}
+
+TEST(LintSeeded, UndrivenBusIsReportedByExactlyThatRule) {
+  using namespace icl;
+  const ChipDesc desc =
+      ChipBuilder("defect_undriven")
+          .microcode(4, {field("op", 0, 3)})
+          .dataWidth(4)
+          .buses({"A", "B"})
+          .element("inport", "IN", {{"bus", sym("A")}, {"drive", expr("op==1")}})
+          .element("register", "R0", {{"in", sym("B")}, {"out", sym("A")},
+                                      {"load", expr("op==2")}, {"drive", expr("op==3")}})
+          .buildOrDie();
+  const lint::LintReport rep = lint::lintDesc(desc);
+  ASSERT_EQ(rep.findings.size(), 1u) << rep.summary();
+  EXPECT_EQ(rep.findings[0].rule, "front-undriven-bus");
+  EXPECT_EQ(rep.findings[0].chipPath, "defect_undriven/bus:B");
+}
+
+TEST(LintSeeded, DeadConditionalBranchIsReportedByExactlyThatRule) {
+  using namespace icl;
+  const ChipDesc desc =
+      ChipBuilder("defect_dead")
+          .var("PROTO", true)
+          .microcode(4, {field("op", 0, 3)})
+          .dataWidth(4)
+          .buses({"A"})
+          .element("inport", "IN", {{"bus", sym("A")}, {"drive", expr("op==1")}})
+          .element("outport", "OUT", {{"bus", sym("A")}, {"sample", expr("op==2")}})
+          .when("PROTO", {cond("PROTO", {},
+                               {item("probe", "P0", {{"bus", sym("A")}, {"bit", num(0)}})})})
+          .buildOrDie();
+  const lint::LintReport rep = lint::lintDesc(desc);
+  ASSERT_EQ(rep.findings.size(), 1u) << rep.summary();
+  EXPECT_EQ(rep.findings[0].rule, "front-dead-branch");
+}
+
+TEST(LintSeeded, DuplicateEffectAndWidthRules) {
+  using namespace icl;
+  const ChipDesc desc =
+      ChipBuilder("defect_misc")
+          .microcode(4, {field("op", 0, 3)})
+          .dataWidth(4)
+          .buses({"A"})
+          .element("inport", "IN", {{"bus", sym("A")}, {"drive", expr("op==1")}})
+          // Same decode on load and drive: reads and writes in one cycle.
+          .element("register", "R0", {{"in", sym("A")}, {"out", sym("A")},
+                                      {"load", expr("op==2")}, {"drive", expr("op==2")}})
+          // Bit 9 of a 4-bit bus.
+          .element("probe", "P0", {{"bus", sym("A")}, {"bit", num(9)}})
+          .buildOrDie();
+  const lint::LintReport rep = lint::lintDesc(desc);
+  ASSERT_EQ(rep.findings.size(), 2u) << rep.summary();
+  // Rule-name order (the deterministic report order).
+  EXPECT_EQ(rep.findings[0].rule, "front-duplicate-effect");
+  EXPECT_EQ(rep.findings[1].rule, "front-width");
+}
+
+// ---- suppression and severity floor -------------------------------------
+
+TEST(Lint, SuppressionByRuleAndByInstance) {
+  const cell::Cell c = floatingGateCell();
+
+  lint::LintOptions byRule;
+  byRule.suppress = {"erc-floating-gate"};
+  const lint::LintReport r1 = lint::lintCell(c, byRule);
+  EXPECT_TRUE(r1.clean());
+  EXPECT_EQ(r1.suppressed, 1u);
+
+  lint::LintOptions byInstance;
+  byInstance.suppress = {"erc-floating-gate@defect_float/net#0"};
+  const lint::LintReport r2 = lint::lintCell(c, byInstance);
+  EXPECT_TRUE(r2.clean());
+  EXPECT_EQ(r2.suppressed, 1u);
+
+  lint::LintOptions wrongInstance;
+  wrongInstance.suppress = {"erc-floating-gate@defect_float/net#999"};
+  const lint::LintReport r3 = lint::lintCell(c, wrongInstance);
+  ASSERT_EQ(r3.findings.size(), 1u);
+  EXPECT_EQ(r3.suppressed, 0u);
+}
+
+TEST(Lint, SeverityFloorCountsInsteadOfReports) {
+  const cell::Cell c = floatingGateCell();
+
+  lint::LintOptions errorsOnly;
+  errorsOnly.minSeverity = icl::Severity::Error;
+  const lint::LintReport r1 = lint::lintCell(c, errorsOnly);
+  EXPECT_TRUE(r1.clean());
+  EXPECT_GE(r1.belowFloor, 1u);  // the floating-gate warning plus the notes
+
+  lint::LintOptions everything;
+  everything.minSeverity = icl::Severity::Note;
+  const lint::LintReport r2 = lint::lintCell(c, everything);
+  EXPECT_EQ(r2.belowFloor, 0u);
+  // Floating gate + the two fractured-diffusion unloaded-net notes.
+  EXPECT_EQ(r2.findings.size(), 3u) << r2.summary();
+}
+
+TEST(Lint, RuleSelectionRunsOnlyRequestedRules) {
+  const cell::Cell c = floatingGateCell();
+  lint::LintOptions opts;
+  opts.rules = {"erc-rail-short", "erc-unloaded-net"};
+  opts.minSeverity = icl::Severity::Note;
+  const lint::LintReport rep = lint::lintCell(c, opts);
+  EXPECT_EQ(rep.rulesRun, (std::vector<std::string>{"erc-rail-short", "erc-unloaded-net"}));
+  ASSERT_EQ(rep.findings.size(), 2u);
+  EXPECT_EQ(rep.findings[0].rule, "erc-unloaded-net");
+}
+
+// ---- determinism ---------------------------------------------------------
+
+TEST(Lint, ParallelReportIsByteIdenticalToSerial) {
+  auto compiled = core::compileChip(core::samples::largeChip());
+  ASSERT_TRUE(compiled);
+  lint::LintOptions serial;
+  serial.minSeverity = icl::Severity::Note;  // plenty of findings to order
+  serial.threads = 1;
+  lint::LintOptions parallel = serial;
+  parallel.threads = 0;  // full pool width
+
+  const std::string serialJson = lint::lintChip(**compiled, serial).toJson();
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(lint::lintChip(**compiled, parallel).toJson(), serialJson) << round;
+  }
+}
+
+TEST(Lint, JsonCarriesFindingsWithStableFingerprints) {
+  const lint::LintReport rep = lint::lintCell(floatingGateCell());
+  ASSERT_EQ(rep.findings.size(), 1u);
+  const std::string json = rep.toJson();
+  EXPECT_NE(json.find("\"version\": \"bb-lint-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"erc-floating-gate\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"warning\""), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint\": \""), std::string::npos);
+  // The fingerprint ignores layout position: a second cell with the same
+  // defect shifted keeps the same finding identity.
+  cell::Cell shifted("defect_float");
+  shifted.addRect(Layer::Diffusion, Rect{L(40), L(44), L(60), L(46)});
+  shifted.addRect(Layer::Poly, Rect{L(49), L(40), L(51), L(50)});
+  const lint::LintReport rep2 = lint::lintCell(shifted);
+  ASSERT_EQ(rep2.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].fingerprint(), rep2.findings[0].fingerprint());
+  EXPECT_NE(rep.findings[0].at.x, rep2.findings[0].at.x);
+}
+
+// ---- session integration -------------------------------------------------
+
+TEST(LintSession, FindingsJoinDiagnosticsAfterCompileDiagnostics) {
+  auto opts = core::CompileOptions::builder()
+                  .lint(true)
+                  .lintMinSeverity(icl::Severity::Note)
+                  .build();
+  core::CompileSession sess(core::samples::smallChip(), opts);
+  auto result = sess.run();
+  ASSERT_TRUE(result);
+  const auto report = sess.lintReport();
+  ASSERT_NE(report, nullptr);
+  EXPECT_FALSE(report->findings.empty());  // notes are visible at this floor
+  // Every lint diagnostic sits after every compile diagnostic, in the
+  // report's own order — the deterministic interleave.
+  const auto& diags = sess.diagnostics().all();
+  ASSERT_GE(diags.size(), report->findings.size());
+  const std::size_t base = diags.size() - report->findings.size();
+  for (std::size_t i = 0; i < report->findings.size(); ++i) {
+    const lint::Finding& f = report->findings[i];
+    EXPECT_NE(diags[base + i].message.find("[" + f.rule + "]"), std::string::npos);
+    EXPECT_EQ(diags[base + i].severity, f.severity);
+  }
+}
+
+TEST(LintSession, DisabledLintLeavesNoReport) {
+  core::CompileSession sess(core::samples::smallChip());
+  ASSERT_TRUE(sess.run());
+  EXPECT_EQ(sess.lintReport(), nullptr);
+}
+
+TEST(LintSession, LintOptionEditReRunsOnlyFinalize) {
+  core::CompileSession sess2(core::samples::smallChip());
+  sess2.setIncremental(true);
+  ASSERT_TRUE(sess2.runTo(core::Stage::Finalize));
+  EXPECT_EQ(sess2.executionCount(core::Stage::Finalize), 1u);
+  EXPECT_EQ(sess2.lintReport(), nullptr);
+
+  auto opts = core::CompileOptions::builder().lint(true).build();
+  const auto restart = sess2.setOptions(opts);
+  ASSERT_TRUE(restart.has_value());
+  EXPECT_EQ(*restart, core::Stage::Finalize);
+  ASSERT_TRUE(sess2.runTo(core::Stage::Finalize));
+  // Only finalize re-ran; the passes kept their single execution.
+  EXPECT_EQ(sess2.executionCount(core::Stage::Finalize), 2u);
+  EXPECT_EQ(sess2.executionCount(core::Stage::Pass1), 1u);
+  EXPECT_EQ(sess2.executionCount(core::Stage::Pass2), 1u);
+  EXPECT_EQ(sess2.executionCount(core::Stage::Pass3), 1u);
+  EXPECT_NE(sess2.lintReport(), nullptr);
+
+  // And an unchanged option set is a no-op.
+  EXPECT_FALSE(sess2.setOptions(opts).has_value());
+  EXPECT_EQ(sess2.executionCount(core::Stage::Finalize), 2u);
+}
+
+TEST(LintSession, LintThreadWidthDoesNotDirtyFinalize) {
+  core::CompileSession sess(core::samples::smallChip());
+  sess.setIncremental(true);
+  auto opts = core::CompileOptions::builder().lint(true).build();
+  ASSERT_FALSE(sess.setOptions(opts).has_value());  // nothing ran yet
+  ASSERT_TRUE(sess.runTo(core::Stage::Finalize));
+  // Reports are byte-identical at any width, so a width edit must not
+  // invalidate the memoized finalize.
+  opts.lint.threads = 7;
+  EXPECT_FALSE(sess.setOptions(opts).has_value());
+  EXPECT_EQ(sess.executionCount(core::Stage::Finalize), 1u);
+}
+
+// ---- service integration -------------------------------------------------
+
+TEST(LintService, WarmCacheServesReportsWithZeroCompileStages) {
+  svc::CompileService service;
+  svc::LintRequest req;
+  req.chip = svc::CompileRequest::ofDesc(core::samples::smallChip());
+  req.lint.minSeverity = icl::Severity::Note;
+
+  const svc::LintResponse cold = service.lint(req);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.chipCacheHit);
+  EXPECT_FALSE(cold.reportCacheHit);
+  EXPECT_FALSE(cold.report->findings.empty());
+  EXPECT_EQ(service.stats().compilesExecuted, 1u);
+
+  const svc::LintResponse warm = service.lint(req);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.chipCacheHit);
+  EXPECT_TRUE(warm.reportCacheHit);
+  EXPECT_EQ(warm.key, cold.key);
+  EXPECT_EQ(warm.chipKey, cold.chipKey);
+  EXPECT_EQ(warm.report.get(), cold.report.get());  // the very same report
+  // Zero compile stages ran for the warm request.
+  EXPECT_EQ(service.stats().compilesExecuted, 1u);
+  EXPECT_EQ(service.stats().lintRequests, 2u);
+  EXPECT_EQ(service.stats().lintReportHits, 1u);
+
+  // New lint options on the warm chip: chip cache hit, report recompute.
+  svc::LintRequest other = req;
+  other.lint.suppress = {"erc-unloaded-net"};
+  const svc::LintResponse recompute = service.lint(other);
+  ASSERT_TRUE(recompute.ok());
+  EXPECT_TRUE(recompute.chipCacheHit);
+  EXPECT_FALSE(recompute.reportCacheHit);
+  EXPECT_NE(recompute.key, cold.key);
+  EXPECT_EQ(recompute.chipKey, cold.chipKey);
+  EXPECT_EQ(service.stats().compilesExecuted, 1u);
+}
+
+TEST(LintService, ChipCacheEntryIsSharedWithPlainCompiles) {
+  svc::CompileService service;
+  const auto plain = service.compile(svc::CompileRequest::ofDesc(core::samples::smallChip()));
+  ASSERT_TRUE(plain.ok());
+
+  svc::LintRequest req;
+  req.chip = svc::CompileRequest::ofDesc(core::samples::smallChip());
+  // Even a lint block on the chip request must not fork the cache entry.
+  req.chip.opts.lint.enabled = true;
+  const svc::LintResponse resp = service.lint(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp.chipCacheHit);
+  EXPECT_EQ(resp.chipKey, plain.key);
+  EXPECT_EQ(service.stats().compilesExecuted, 1u);
+}
+
+TEST(LintService, FailingCompileYieldsNoReport) {
+  svc::CompileService service;
+  svc::LintRequest req;
+  req.chip = svc::CompileRequest::ofSource("broken", "this is not a chip description");
+  const svc::LintResponse resp = service.lint(req);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.report, nullptr);
+  EXPECT_TRUE(resp.diags.hasErrors());
+}

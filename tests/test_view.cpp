@@ -381,7 +381,9 @@ TEST(GoldenEquivalence, MergedCifIsAreaIdenticalPerLayer) {
     EXPECT_EQ(geom::sweep::unionArea(back.on(l)), geom::sweep::unionArea(flat.on(l)))
         << tech::layerName(l);
     // ...with no more boxes than the raw artwork needs.
-    if (!flat.on(l).empty()) EXPECT_FALSE(back.on(l).empty());
+    if (!flat.on(l).empty()) {
+      EXPECT_FALSE(back.on(l).empty());
+    }
   }
 }
 
