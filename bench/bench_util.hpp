@@ -11,6 +11,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -25,8 +27,13 @@ namespace bb::bench {
 /// back-to-back (the CI perf-smoke job) build one combined file and the
 /// perf trajectory is recorded rather than scrolled away.
 ///
-/// Row shape: {"name": ..., "n": ..., "ns_per_op": ..., "items_per_sec": ...}
+/// Row shape: {"name": ..., "n": ..., "ns_per_op": ..., "items_per_sec": ...,
+/// "timestamp": ISO-8601 UTC write time, "commit": the BB_BENCH_COMMIT
+/// environment value (CI sets it to the commit SHA; omitted when unset)}
 /// where items are whatever the bench processes (chips, rects, ...).
+/// The trajectory file thus records *when* and *at which commit* each
+/// row was measured; rows from older writers lack the two fields, which
+/// the checker accepts.
 class BenchJson {
  public:
   static BenchJson& instance() {
@@ -91,15 +98,19 @@ class BenchJson {
       } else {
         out << "[\n";
       }
+      const std::string stamp = isoTimestampUtc();
+      const std::string commit = commitFromEnv();
       for (const Row& r : rows_) {
         if (!first) out << ",\n";
         first = false;
-        char buf[256];
+        char buf[384];
         std::snprintf(buf, sizeof(buf),
                       "  {\"name\": \"%s\", \"n\": %lld, \"ns_per_op\": %.1f, "
-                      "\"items_per_sec\": %.1f}",
-                      r.name.c_str(), r.n, r.nsPerOp, r.itemsPerSec);
+                      "\"items_per_sec\": %.1f, \"timestamp\": \"%s\"",
+                      r.name.c_str(), r.n, r.nsPerOp, r.itemsPerSec, stamp.c_str());
         out << buf;
+        if (!commit.empty()) out << ", \"commit\": \"" << commit << '"';
+        out << '}';
       }
       out << "\n]\n";
       if (!out.good()) {
@@ -134,6 +145,36 @@ class BenchJson {
     double nsPerOp;
     double itemsPerSec;
   };
+
+  /// Write time as ISO-8601 UTC ("2026-08-08T12:34:56Z").
+  static std::string isoTimestampUtc() {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+#if defined(_WIN32)
+    gmtime_s(&tm, &now);
+#else
+    gmtime_r(&now, &tm);
+#endif
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+  }
+
+  /// BB_BENCH_COMMIT, restricted to identifier-safe characters (it goes
+  /// into JSON unescaped) and a git-SHA-ish length. Empty when unset.
+  static std::string commitFromEnv() {
+    const char* env = std::getenv("BB_BENCH_COMMIT");
+    if (env == nullptr) return {};
+    std::string out;
+    for (const char* p = env; *p != '\0' && out.size() < 64; ++p) {
+      const char c = *p;
+      const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                      (c >= 'A' && c <= 'Z') || c == '_' || c == '.' || c == '-';
+      if (ok) out.push_back(c);
+    }
+    return out;
+  }
+
   std::vector<Row> rows_;
 };
 

@@ -38,6 +38,19 @@ geom::Rect FlatLayout::bbox() const noexcept {
   return acc;
 }
 
+std::size_t FlatLayout::approxBytes() const noexcept {
+  std::size_t b = 0;
+  for (const auto& v : rects) b += v.size() * sizeof(geom::Rect);
+  for (const auto& [l, p] : polygons) {
+    (void)l;
+    b += sizeof(p) + p.pts.size() * sizeof(geom::Point);
+  }
+  for (const auto& idx : indexCache_) {
+    if (idx) b += idx->approxBytes();
+  }
+  return b;
+}
+
 void flattenInto(FlatLayout& out, const Cell& c, const geom::Transform& t) {
   for (const Shape& s : c.shapes()) {
     std::visit(

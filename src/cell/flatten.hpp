@@ -48,6 +48,11 @@ struct FlatLayout {
   [[nodiscard]] std::size_t totalCount() const noexcept;
   [[nodiscard]] geom::Rect bbox() const noexcept;
 
+  /// Resident-size estimate: rect storage, polygon vertices, and any
+  /// layer indexes built so far — what a byte-budgeted cache should
+  /// charge for holding this layout.
+  [[nodiscard]] std::size_t approxBytes() const noexcept;
+
  private:
   mutable std::array<std::optional<geom::RectIndex>, tech::kLayerCount> indexCache_;
 };

@@ -86,6 +86,13 @@ std::size_t CompiledChip::approxBytes() const noexcept {
   bytes += pads.size() * sizeof(PadPlacement);
   bytes += logic.gates().size() * sizeof(netlist::Gate);
   bytes += logic.signalCount() * 32;  // names + bus flags, order of magnitude
+  // Materialized derived artwork. The flattens replicate every instance's
+  // geometry, so on a hierarchical chip they dominate the shared cell
+  // library above — omitting them is exactly the under-charge the svc
+  // cache regression test pins down.
+  if (flatTop_) bytes += sizeof(cell::FlatLayout) + flatTop_->approxBytes();
+  if (flatCore_) bytes += sizeof(cell::FlatLayout) + flatCore_->approxBytes();
+  if (hierTop_) bytes += sizeof(cell::HierIndex) + hierTop_->approxBytes();
   return bytes;
 }
 
@@ -97,6 +104,11 @@ const cell::FlatLayout& CompiledChip::flatTop() const {
 const cell::FlatLayout& CompiledChip::flatCore() const {
   if (!flatCore_) flatCore_ = std::make_unique<cell::FlatLayout>(cell::flatten(*core));
   return *flatCore_;
+}
+
+const cell::HierIndex& CompiledChip::hierTop() const {
+  if (!hierTop_) hierTop_ = std::make_unique<cell::HierIndex>(*top);
+  return *hierTop_;
 }
 
 }  // namespace bb::core

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "cell/flatten.hpp"
+#include "cell/hier_index.hpp"
 #include "cell/library.hpp"
 #include "core/pass2_tapes.hpp"
 #include "core/pla.hpp"
@@ -92,11 +93,16 @@ struct CompiledChip {
   /// never the original.
   [[nodiscard]] CompiledChip clone() const;
 
-  /// Deterministic estimate of the chip's resident size in bytes (cells,
+  /// Deterministic estimate of the chip's resident size in bytes: cells,
   /// shapes with polygon/path vertices, bristles, instances, placed
-  /// elements, pads, logic gates). Used by `svc::ChipCache` to charge
-  /// entries against its byte budget; an estimate, not an accounting of
-  /// every allocator header.
+  /// elements, pads, logic gates — PLUS whatever derived artwork is
+  /// materialized at call time (the flatten caches with their spatial
+  /// indexes, the hierarchical index). Used by `svc::ChipCache` to
+  /// charge entries against its byte budget; since the service prewarmes
+  /// the caches before inserting, the flattens — which dwarf the shared
+  /// cell library on hierarchical chips — are charged, not leaked past
+  /// the budget. An estimate, not an accounting of every allocator
+  /// header.
   [[nodiscard]] std::size_t approxBytes() const noexcept;
 
   /// Flattened artwork of the whole die / of the core, built on first use
@@ -112,9 +118,20 @@ struct CompiledChip {
   [[nodiscard]] const cell::FlatLayout& flatTop() const;
   [[nodiscard]] const cell::FlatLayout& flatCore() const;
 
+  /// Hierarchical index of the whole die (`cell::HierIndex` over `top`):
+  /// unique cells flattened once plus a placement index — what the
+  /// hierarchical DRC/extract/emission paths and lazy viewports consume.
+  /// Same lifetime/caching/thread-safety contract as `flatTop`.
+  [[nodiscard]] const cell::HierIndex& hierTop() const;
+
+  /// True when `hierTop` has been materialized (so tests can assert the
+  /// flat paths never build it and vice versa).
+  [[nodiscard]] bool hierTopBuilt() const noexcept { return hierTop_ != nullptr; }
+
  private:
   mutable std::unique_ptr<cell::FlatLayout> flatTop_;
   mutable std::unique_ptr<cell::FlatLayout> flatCore_;
+  mutable std::unique_ptr<cell::HierIndex> hierTop_;
 };
 
 }  // namespace bb::core

@@ -259,6 +259,76 @@ void runContactChecks(const cell::FlatLayout& flat, const tech::RuleDeck& deck,
   }
 }
 
+/// World-space rects of one hier source (a placement, or the residual
+/// when `src == placements().size()`) on layer `l` touching `win`, in
+/// ascending local-index order (deterministic).
+std::vector<Rect> sourceRectsNear(const cell::HierIndex& hier, std::size_t src, Layer l,
+                                  const Rect& win) {
+  std::vector<Rect> out;
+  std::vector<int> cand;
+  const auto& ps = hier.placements();
+  if (src < ps.size()) {
+    const cell::HierPlacement& p = ps[src];
+    const geom::RectIndex& idx = hier.units()[p.unit].flat.indexOn(l);
+    idx.queryTouching(p.t.inverted()(win), cand);
+    out.reserve(cand.size());
+    for (const int i : cand) out.push_back(p.t(idx.rect(static_cast<std::size_t>(i))));
+  } else {
+    const geom::RectIndex& idx = hier.residual().indexOn(l);
+    idx.queryTouching(win, cand);
+    out.reserve(cand.size());
+    for (const int i : cand) out.push_back(idx.rect(static_cast<std::size_t>(i)));
+  }
+  return out;
+}
+
+Rect sourceBBox(const cell::HierIndex& hier, std::size_t src) {
+  const auto& ps = hier.placements();
+  return src < ps.size() ? ps[src].worldBBox : hier.residual().bbox();
+}
+
+/// One spacing rule across a pair of hier sources: only the rects near
+/// the other source's bbox are paired, with the flat checker's exact
+/// pair semantics (touch = one feature, same-layer bridging resolved
+/// against the WHOLE hierarchy, boundary exemption vs the top boundary).
+void runSpacingAcross(const tech::SpacingRule& sr, const cell::HierIndex& hier,
+                      std::size_t srcI, std::size_t srcJ, const Rect& boundary,
+                      const DrcOptions& opts, std::vector<Violation>& out) {
+  if (sr.min <= 0) return;
+  const Coord m = sr.min - 1;
+
+  const auto pass = [&](std::size_t sa, std::size_t sb) {
+    const Rect nearB = sourceBBox(hier, sb).expandedXY(m, m);
+    const std::vector<Rect> A = sourceRectsNear(hier, sa, sr.a, nearB);
+    if (A.empty()) return;
+    const Rect nearA = sourceBBox(hier, sa).expandedXY(m, m);
+    const std::vector<Rect> B = sourceRectsNear(hier, sb, sr.b, nearA);
+    for (const Rect& ra : A) {
+      for (const Rect& rb : B) {
+        if (ra.touches(rb)) continue;
+        const Coord gap = gapBetween(ra, rb);
+        if (gap >= sr.min) continue;
+        if (sr.a == sr.b) {
+          bool bridged = false;
+          hier.forEachRectTouching(sr.a, ra, [&](const Rect& o) {
+            if (bridged || o == ra || o == rb) return;
+            if (o.touches(rb)) bridged = true;
+          });
+          if (bridged) continue;
+        }
+        if (opts.boundaryConditions && touchesBoundary(ra, boundary) &&
+            touchesBoundary(rb, boundary)) {
+          continue;
+        }
+        out.push_back({sr.name, sr.a, sr.b, ra.unionWith(rb),
+                       "gap " + std::to_string(gap) + " < " + std::to_string(sr.min)});
+      }
+    }
+  };
+  pass(srcI, srcJ);
+  if (sr.a != sr.b) pass(srcJ, srcI);  // flat pairs a-rects with b-rects both ways
+}
+
 }  // namespace
 
 std::string DrcReport::summary() const {
@@ -330,6 +400,88 @@ DrcReport DeckChecker::check(const cell::FlatLayout& flat, const geom::Rect& bou
   for (std::vector<Violation>& v : found) {
     rep.violations.insert(rep.violations.end(), std::make_move_iterator(v.begin()),
                           std::make_move_iterator(v.end()));
+  }
+  return rep;
+}
+
+DrcReport DeckChecker::checkHier(const cell::HierIndex& hier) const {
+  return checkHier(hier, opts_.threads);
+}
+
+DrcReport DeckChecker::checkHier(const cell::HierIndex& hier,
+                                 unsigned threadsOverride) const {
+  DrcReport rep;
+  rep.shapesChecked = hier.flatCount();
+  const geom::Rect boundary = hier.top().boundary();
+  const auto& us = hier.units();
+  const auto& ps = hier.placements();
+  const std::size_t P = ps.size();
+  const bool residualUsed = hier.residual().totalCount() > 0;
+
+  // Interacting source pairs: any two sources whose bboxes come within
+  // the widest spacing margin can hold a cross-source violation; nothing
+  // farther apart can. Sources are the placements plus the residual
+  // (index P). Sorted for a deterministic violation order.
+  geom::Coord maxMargin = 0;
+  for (const auto& sr : deck_->spacings) maxMargin = std::max(maxMargin, sr.min - 1);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < P; ++i) {
+    hier.forEachPlacementNear(ps[i].worldBBox, maxMargin, [&](std::size_t j) {
+      if (j > i) pairs.emplace_back(i, j);
+    });
+  }
+  if (residualUsed) {
+    const geom::Rect rb = hier.residual().bbox();
+    for (std::size_t i = 0; i < P; ++i) {
+      if (gapBetween(rb, ps[i].worldBBox) <= maxMargin) pairs.emplace_back(i, P);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  // Independent jobs: one per unique-cell interior (checked ONCE against
+  // its own boundary), one for the residual, one per interaction pair.
+  const std::size_t NU = us.size();
+  std::vector<std::vector<Violation>> unitViol(NU);
+  std::vector<Violation> residViol;
+  std::vector<std::vector<Violation>> pairViol(pairs.size());
+  const auto runJob = [&](std::size_t k) {
+    if (k < NU) {
+      unitViol[k] = check(us[k].flat, us[k].cell->boundary(), 1).violations;
+    } else if (k == NU) {
+      if (residualUsed) residViol = check(hier.residual(), boundary, 1).violations;
+    } else {
+      const auto [i, j] = pairs[k - NU - 1];
+      for (const Unit& u : units_) {
+        if (u.kind != Unit::Kind::Spacing) continue;
+        runSpacingAcross(deck_->spacings[u.index], hier, i, j, boundary, opts_,
+                         pairViol[k - NU - 1]);
+      }
+    }
+  };
+  const std::size_t total = NU + 1 + pairs.size();
+  if (threadsOverride != 1 && total > 1) {
+    // Pair jobs lazily query shared unit/residual indexes; prewarm so the
+    // fan-out only performs const reads.
+    hier.buildIndexes();
+    core::runWorkQueue(total, threadsOverride, runJob);
+  } else {
+    for (std::size_t k = 0; k < total; ++k) runJob(k);
+  }
+
+  // Assemble: placements in order (interior violations replicated with
+  // coordinates mapped through the placement), residual, then pairs.
+  for (const cell::HierPlacement& p : ps) {
+    for (const Violation& v : unitViol[p.unit]) {
+      Violation w = v;
+      w.where = p.t(v.where);
+      rep.violations.push_back(std::move(w));
+    }
+  }
+  rep.violations.insert(rep.violations.end(), std::make_move_iterator(residViol.begin()),
+                        std::make_move_iterator(residViol.end()));
+  for (std::vector<Violation>& pv : pairViol) {
+    rep.violations.insert(rep.violations.end(), std::make_move_iterator(pv.begin()),
+                          std::make_move_iterator(pv.end()));
   }
   return rep;
 }

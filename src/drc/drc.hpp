@@ -12,6 +12,7 @@
 
 #include "cell/cell.hpp"
 #include "cell/flatten.hpp"
+#include "cell/hier_index.hpp"
 #include "tech/rules.hpp"
 
 #include <cstdint>
@@ -83,6 +84,27 @@ class DeckChecker {
                                 const geom::Rect& boundary) const;
   [[nodiscard]] DrcReport check(const cell::FlatLayout& flat, const geom::Rect& boundary,
                                 unsigned threadsOverride) const;
+
+  /// Hierarchy-aware check: each unique cell's interior is checked ONCE
+  /// (against its own abutment boundary — the paper's per-cell DRC) and
+  /// the violations replicated per placement with coordinates mapped
+  /// through the placement transform; the residual gets the full rule
+  /// set against the top boundary; then only the *interaction regions* —
+  /// spacing rules across pairs of sources whose bboxes come within the
+  /// rule margin — are pair-checked, with bridge material resolved
+  /// across the whole hierarchy. Work scales with unique-cell geometry
+  /// plus interaction area instead of instance count.
+  ///
+  /// Equivalent to the flat `check` on *well-formed* hierarchies: cells
+  /// whose interiors stand alone (every rect at least min width, no
+  /// transistor/contact split across a cell boundary) — which is what
+  /// the generators produce and what `bench_hier_scaling` asserts.
+  /// Violation order: placements in order (interior violations in deck
+  /// order), then the residual, then interaction pairs; compare as sets
+  /// against the flat reference.
+  [[nodiscard]] DrcReport checkHier(const cell::HierIndex& hier) const;
+  [[nodiscard]] DrcReport checkHier(const cell::HierIndex& hier,
+                                    unsigned threadsOverride) const;
 
   [[nodiscard]] const tech::RuleDeck& deck() const noexcept { return *deck_; }
   [[nodiscard]] const DrcOptions& options() const noexcept { return opts_; }

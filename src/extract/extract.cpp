@@ -6,6 +6,7 @@
 #include <map>
 #include <numeric>
 #include <optional>
+#include <tuple>
 
 namespace bb::extract {
 
@@ -398,7 +399,363 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
   for (std::size_t i = 0; i < res.netInfo.size(); ++i) {
     res.netInfo[i].named = res.netlist.nets()[i].isNamed;
   }
+
+  if (opts.keepPieces) {
+    res.pieces.reserve(pieces.size());
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      res.pieces.push_back({pieces[i].layer, pieces[i].r, netOfPiece(static_cast<int>(i))});
+    }
+  }
   return res;
+}
+
+namespace {
+
+/// Conductor-layer slot (Diffusion/Poly/Metal -> 0/1/2), -1 otherwise.
+int condSlot(Layer l) noexcept {
+  switch (l) {
+    case Layer::Diffusion: return 0;
+    case Layer::Poly: return 1;
+    case Layer::Metal: return 2;
+    default: return -1;
+  }
+}
+
+/// One stitching source: a unique cell's (or the residual's) local
+/// extraction plus per-conductor-layer piece indexes and a local-net ->
+/// representative-piece table. Shared by every placement of the unit.
+struct StitchSrc {
+  ExtractResult res;
+  std::array<std::vector<int>, 3> layerPieces;  ///< slot -> local piece ids
+  std::array<RectIndex, 3> layerIdx;            ///< over those pieces' rects
+  std::vector<int> netRep;                      ///< local net -> first piece
+};
+
+StitchSrc buildStitchSrc(const cell::FlatLayout& flat, const ExtractOptions& base) {
+  StitchSrc x;
+  ExtractOptions uo = base;
+  uo.boundary.reset();
+  uo.hierarchical = false;
+  uo.keepPieces = true;
+  x.res = extractFlat(flat, {}, uo);
+  std::array<std::vector<Rect>, 3> rects;
+  x.netRep.assign(x.res.netlist.nets().size(), -1);
+  for (std::size_t i = 0; i < x.res.pieces.size(); ++i) {
+    const auto& p = x.res.pieces[i];
+    const int k = condSlot(p.layer);
+    x.layerPieces[static_cast<std::size_t>(k)].push_back(static_cast<int>(i));
+    rects[static_cast<std::size_t>(k)].push_back(p.r);
+    if (x.netRep[static_cast<std::size_t>(p.net)] < 0) {
+      x.netRep[static_cast<std::size_t>(p.net)] = static_cast<int>(i);
+    }
+  }
+  for (std::size_t k = 0; k < 3; ++k) x.layerIdx[k] = RectIndex(std::move(rects[k]));
+  return x;
+}
+
+/// Closed-box intersection: non-null whenever the boxes touch (a shared
+/// edge yields a degenerate strip — exactly the abutment window).
+std::optional<Rect> closedIntersect(const Rect& a, const Rect& b) noexcept {
+  Rect r;
+  r.x0 = std::max(a.x0, b.x0);
+  r.y0 = std::max(a.y0, b.y0);
+  r.x1 = std::min(a.x1, b.x1);
+  r.y1 = std::min(a.y1, b.y1);
+  if (r.x0 > r.x1 || r.y0 > r.y1) return std::nullopt;
+  return r;
+}
+
+}  // namespace
+
+ExtractResult extractHier(const cell::HierIndex& hier, const std::vector<NetLabel>& labels,
+                          const ExtractOptions& opts) {
+  ExtractResult res;
+  const auto& us = hier.units();
+  const auto& ps = hier.placements();
+  const std::size_t P = ps.size();
+
+  // --- 1. each unique cell extracted ONCE; the residual is one more source.
+  std::vector<StitchSrc> unitX;
+  unitX.reserve(us.size());
+  for (const cell::HierUnit& u : us) unitX.push_back(buildStitchSrc(u.flat, opts));
+  const StitchSrc residX = buildStitchSrc(hier.residual(), opts);
+
+  // Global piece slots: every placement replicates its unit's pieces;
+  // source P is the residual.
+  const auto srcX = [&](std::size_t s) -> const StitchSrc& {
+    return s < P ? unitX[ps[s].unit] : residX;
+  };
+  const auto srcT = [&](std::size_t s) -> geom::Transform {
+    return s < P ? ps[s].t : geom::Transform{};
+  };
+  std::vector<std::size_t> off(P + 2, 0);
+  for (std::size_t s = 0; s <= P; ++s) off[s + 1] = off[s] + srcX(s).res.pieces.size();
+
+  UnionFind uf(off[P + 1]);
+  // Within-source connectivity, replicated from the local extraction.
+  for (std::size_t s = 0; s <= P; ++s) {
+    const StitchSrc& x = srcX(s);
+    for (std::size_t i = 0; i < x.res.pieces.size(); ++i) {
+      const int rep = x.netRep[static_cast<std::size_t>(x.res.pieces[i].net)];
+      uf.unite(static_cast<int>(off[s] + i), static_cast<int>(off[s]) + rep);
+    }
+  }
+
+  /// Visit (global id, world rect) of source `s`'s pieces on slot `k`
+  /// touching world rect `w` (local-index ascending).
+  const auto forPieces = [&](std::size_t s, int k, const Rect& w, auto&& f) {
+    const StitchSrc& x = srcX(s);
+    const geom::Transform t = srcT(s);
+    const Rect lw = s < P ? t.inverted()(w) : w;
+    const auto ks = static_cast<std::size_t>(k);
+    std::vector<int> cand;
+    x.layerIdx[ks].queryTouching(lw, cand);
+    for (const int qi : cand) {
+      const int lp = x.layerPieces[ks][static_cast<std::size_t>(qi)];
+      f(static_cast<int>(off[s]) + lp, t(x.res.pieces[static_cast<std::size_t>(lp)].r));
+    }
+  };
+
+  // --- 2. boundary stitching over interacting source pairs ---------------
+  const auto srcBBox = [&](std::size_t s) {
+    return s < P ? ps[s].worldBBox : hier.residual().bbox();
+  };
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < P; ++i) {
+    hier.forEachPlacementNear(ps[i].worldBBox, 0, [&](std::size_t j) {
+      if (j > i) pairs.emplace_back(i, j);
+    });
+  }
+  if (hier.residual().totalCount() > 0) {
+    const Rect rb = hier.residual().bbox();
+    for (std::size_t i = 0; i < P; ++i) {
+      if (rb.touches(ps[i].worldBBox)) pairs.emplace_back(i, P);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  for (const auto& [a, b] : pairs) {
+    const auto w = closedIntersect(srcBBox(a), srcBBox(b));
+    if (!w) continue;
+
+    // Same-layer abutment: a's pieces in the window vs b's touching them.
+    for (int k = 0; k < 3; ++k) {
+      forPieces(a, k, *w, [&](int ga, const Rect& ra) {
+        forPieces(b, k, ra, [&](int gb, const Rect&) { uf.unite(ga, gb); });
+      });
+    }
+
+    // Boundary-straddling vias, with the flat checker's exact rules: a
+    // contact joins metal to poly if any poly lies under it, else to
+    // diffusion; a buried contact always joins poly to diffusion. All
+    // same-layer pieces touching the via are united (flat does the same).
+    const auto viaJoin = [&](const Rect& via, bool isCut) {
+      bool hasPoly = false, hasDiff = false;
+      for (const std::size_t s : {a, b}) {
+        forPieces(s, 1, via, [&](int, const Rect&) { hasPoly = true; });
+        forPieces(s, 0, via, [&](int, const Rect&) { hasDiff = true; });
+      }
+      const auto gather = [&](int k, int& first) {
+        for (const std::size_t s : {a, b}) {
+          forPieces(s, k, via, [&](int g, const Rect&) {
+            if (first < 0) {
+              first = g;
+            } else {
+              uf.unite(g, first);
+            }
+          });
+        }
+      };
+      int firstMetal = -1, firstPoly = -1, firstDiff = -1;
+      if (isCut) {
+        if (hasPoly) {
+          gather(2, firstMetal);
+          gather(1, firstPoly);
+          if (firstMetal >= 0 && firstPoly >= 0) uf.unite(firstMetal, firstPoly);
+        } else if (hasDiff) {
+          gather(2, firstMetal);
+          gather(0, firstDiff);
+          if (firstMetal >= 0 && firstDiff >= 0) uf.unite(firstMetal, firstDiff);
+        }
+      } else {
+        gather(1, firstPoly);
+        gather(0, firstDiff);
+        if (firstPoly >= 0 && firstDiff >= 0) uf.unite(firstPoly, firstDiff);
+      }
+    };
+    const auto viasOf = [&](std::size_t s, Layer vl, bool isCut) {
+      const cell::FlatLayout& fl = s < P ? us[ps[s].unit].flat : hier.residual();
+      const geom::Transform t = srcT(s);
+      const Rect lw = s < P ? t.inverted()(*w) : *w;
+      const RectIndex& idx = fl.indexOn(vl);
+      for (const int qi : idx.queryTouching(lw)) {
+        viaJoin(t(idx.rect(static_cast<std::size_t>(qi))), isCut);
+      }
+    };
+    viasOf(a, Layer::Contact, true);
+    viasOf(b, Layer::Contact, true);
+    viasOf(a, Layer::Buried, false);
+    viasOf(b, Layer::Buried, false);
+  }
+
+  // --- 3. net ids: labels (bound at world coordinates) first -------------
+  std::map<int, int> rootToNet;
+  const auto netOfGlobal = [&](int g) -> int {
+    const int root = uf.find(g);
+    const auto it = rootToNet.find(root);
+    if (it != rootToNet.end()) return it->second;
+    const int id = res.netlist.anonNet();
+    rootToNet[root] = id;
+    return id;
+  };
+  res.labelBindings.reserve(labels.size());
+  for (const NetLabel& lbl : labels) {
+    int bound = -1;
+    const int k = condSlot(lbl.layer);
+    if (k >= 0) {
+      const Rect pr{lbl.at.x, lbl.at.y, lbl.at.x, lbl.at.y};
+      const auto tryBind = [&](std::size_t s) {
+        if (bound >= 0) return;
+        forPieces(s, k, pr, [&](int g, const Rect& wr) {
+          if (bound >= 0 || !wr.contains(lbl.at)) return;
+          bound = netOfGlobal(g);
+          res.netlist.rename(bound, lbl.name);
+        });
+      };
+      tryBind(P);  // top-level wiring owns most labels; placements next
+      hier.forEachPlacementNear(pr, 0, [&](std::size_t s) { tryBind(s); });
+    }
+    res.labelBindings.push_back({lbl.name, lbl.layer, lbl.at, bound});
+  }
+
+  // --- 4. transistors: replicate each unit's devices per placement -------
+  const auto emitDevices = [&](std::size_t s) {
+    const StitchSrc& x = srcX(s);
+    const geom::Transform t = srcT(s);
+    const auto remap = [&](int localNet) -> int {
+      if (localNet < 0) return -1;
+      return netOfGlobal(static_cast<int>(off[s]) +
+                         x.netRep[static_cast<std::size_t>(localNet)]);
+    };
+    for (const netlist::Transistor& lt : x.res.netlist.transistors()) {
+      netlist::Transistor g = lt;  // kind and W/L are rigid-invariant
+      g.at = t(lt.at);
+      g.gate = remap(lt.gate);
+      g.source = remap(lt.source);
+      g.drain = remap(lt.drain);
+      res.netlist.add(g);
+    }
+    res.unresolvedGates += x.res.unresolvedGates;
+  };
+  for (std::size_t s = 0; s < P; ++s) emitDevices(s);
+  emitDevices(P);
+
+  // Materialize every remaining node so netCount is the true node count.
+  for (std::size_t s = 0; s <= P; ++s) {
+    for (std::size_t i = 0; i < srcX(s).res.pieces.size(); ++i) {
+      (void)netOfGlobal(static_cast<int>(off[s] + i));
+    }
+  }
+  res.netCount = rootToNet.size();
+
+  // --- 5. per-net ERC classification (world coordinates) -----------------
+  res.netInfo.resize(res.netlist.nets().size());
+  const auto reachesBoundary = [&opts](const Rect& r) {
+    if (!opts.boundary) return false;
+    const Rect& bd = *opts.boundary;
+    return r.x0 <= bd.x0 || r.x1 >= bd.x1 || r.y0 <= bd.y0 || r.y1 >= bd.y1;
+  };
+  if (opts.keepPieces) res.pieces.reserve(off[P + 1]);
+  for (std::size_t s = 0; s <= P; ++s) {
+    const StitchSrc& x = srcX(s);
+    const geom::Transform t = srcT(s);
+    for (std::size_t i = 0; i < x.res.pieces.size(); ++i) {
+      const auto& pc = x.res.pieces[i];
+      const Rect wr = t(pc.r);
+      const int net = netOfGlobal(static_cast<int>(off[s] + i));
+      NetInfo& info = res.netInfo[static_cast<std::size_t>(net)];
+      if (info.pieces == 0) info.at = wr.center();
+      ++info.pieces;
+      info.layerMask |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(pc.layer));
+      info.touchesBoundary = info.touchesBoundary || reachesBoundary(wr);
+      if (opts.keepPieces) res.pieces.push_back({pc.layer, wr, net});
+    }
+  }
+  for (const netlist::Transistor& t : res.netlist.transistors()) {
+    if (t.gate >= 0) ++res.netInfo[static_cast<std::size_t>(t.gate)].gates;
+    if (t.source >= 0) ++res.netInfo[static_cast<std::size_t>(t.source)].terminals;
+    if (t.drain >= 0) ++res.netInfo[static_cast<std::size_t>(t.drain)].terminals;
+  }
+  for (std::size_t i = 0; i < res.netInfo.size(); ++i) {
+    res.netInfo[i].named = res.netlist.nets()[i].isNamed;
+  }
+  return res;
+}
+
+bool netlistsEquivalent(const ExtractResult& a, const ExtractResult& b, std::string* why) {
+  const auto fail = [&](std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  };
+  if (a.netCount != b.netCount) {
+    return fail("net count " + std::to_string(a.netCount) + " vs " +
+                std::to_string(b.netCount));
+  }
+  const auto& ta = a.netlist.transistors();
+  const auto& tb = b.netlist.transistors();
+  if (ta.size() != tb.size()) {
+    return fail("transistor count " + std::to_string(ta.size()) + " vs " +
+                std::to_string(tb.size()));
+  }
+
+  // Intrinsic device keys (location, kind, W/L): rank both lists; the
+  // sorted key sequences must match exactly.
+  using Key = std::tuple<Coord, Coord, int, Coord, Coord>;
+  const auto ranked = [](const std::vector<netlist::Transistor>& ts) {
+    std::vector<std::pair<Key, int>> ks(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      ks[i] = {Key{ts[i].at.x, ts[i].at.y, static_cast<int>(ts[i].kind), ts[i].length,
+                   ts[i].width},
+               static_cast<int>(i)};
+    }
+    std::sort(ks.begin(), ks.end());
+    return ks;
+  };
+  const auto ka = ranked(ta);
+  const auto kb = ranked(tb);
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    if (ka[i].first != kb[i].first) {
+      return fail("transistor multisets differ at rank " + std::to_string(i));
+    }
+  }
+
+  // Rename-independent connectivity: each net's signature is the sorted
+  // set of (device rank, role) it touches, with source/drain folded to
+  // one role (extraction picks them arbitrarily). The signature
+  // multisets must match.
+  const auto signatures = [](const ExtractResult& r,
+                             const std::vector<std::pair<Key, int>>& ks) {
+    const auto& ts = r.netlist.transistors();
+    std::vector<int> rankOf(ts.size());
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      rankOf[static_cast<std::size_t>(ks[i].second)] = static_cast<int>(i);
+    }
+    std::vector<std::vector<std::pair<int, int>>> sig(r.netlist.nets().size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const int rk = rankOf[i];
+      if (ts[i].gate >= 0) sig[static_cast<std::size_t>(ts[i].gate)].push_back({rk, 0});
+      if (ts[i].source >= 0) sig[static_cast<std::size_t>(ts[i].source)].push_back({rk, 1});
+      if (ts[i].drain >= 0) sig[static_cast<std::size_t>(ts[i].drain)].push_back({rk, 1});
+    }
+    for (auto& s : sig) std::sort(s.begin(), s.end());
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+  if (signatures(a, ka) != signatures(b, kb)) {
+    return fail("net connection signatures differ");
+  }
+  if (why) why->clear();
+  return true;
 }
 
 std::vector<NetLabel> labelsOf(const cell::Cell& c) {
@@ -411,8 +768,13 @@ std::vector<NetLabel> labelsOf(const cell::Cell& c) {
 }
 
 ExtractResult extractCell(const cell::Cell& c, const ExtractOptions& opts) {
-  return extractFlat(cell::flatten(c),
-                     opts.labelFromBristles ? labelsOf(c) : std::vector<NetLabel>{}, opts);
+  const std::vector<NetLabel> labels =
+      opts.labelFromBristles ? labelsOf(c) : std::vector<NetLabel>{};
+  if (opts.hierarchical) {
+    const cell::HierIndex hier(c);
+    return extractHier(hier, labels, opts);
+  }
+  return extractFlat(cell::flatten(c), labels, opts);
 }
 
 }  // namespace bb::extract

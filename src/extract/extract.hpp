@@ -16,6 +16,7 @@
 
 #include "cell/cell.hpp"
 #include "cell/flatten.hpp"
+#include "cell/hier_index.hpp"
 #include "netlist/transistor.hpp"
 
 #include <string>
@@ -43,6 +44,15 @@ struct ExtractOptions {
   /// contract: wiring that reaches the edge is connected on the far
   /// side, so the ERC rules don't report it floating/undriven.
   std::optional<geom::Rect> boundary;
+  /// `extractCell` routes through `extractHier`: each unique repeated
+  /// cell is extracted ONCE and the per-cell netlists are stitched at
+  /// the boundary nets, so work scales with unique-cell geometry. The
+  /// flat path is the equivalence oracle (`netlistsEquivalent`).
+  bool hierarchical = false;
+  /// Record every conductor piece with its net id in
+  /// `ExtractResult::pieces` (the raw material hierarchical stitching
+  /// and the piece-level tests consume).
+  bool keepPieces = false;
 };
 
 /// Per-net classification, computed alongside the netlist. This is the
@@ -81,6 +91,14 @@ struct ExtractResult {
   std::vector<NetInfo> netInfo;
   /// Resolution of every input label, in input order.
   std::vector<LabelBinding> labelBindings;
+  /// One conductor piece (post gate-fracturing) with its resolved net;
+  /// filled only under `ExtractOptions::keepPieces`.
+  struct PieceRec {
+    tech::Layer layer = tech::Layer::Metal;
+    geom::Rect r;
+    int net = -1;
+  };
+  std::vector<PieceRec> pieces;
 };
 
 /// Extract a cell (flattens hierarchy, labels nets from its bristles).
@@ -95,6 +113,32 @@ struct ExtractResult {
 [[nodiscard]] ExtractResult extractFlat(const cell::FlatLayout& flat,
                                         const std::vector<NetLabel>& labels,
                                         const ExtractOptions& opts = {});
+
+/// Hierarchy-aware extraction: each unique cell's netlist is extracted
+/// ONCE, then replicated per placement and stitched at the boundary —
+/// same-layer abutment plus boundary-straddling contacts/buried joins —
+/// through a global union-find over (placement, local-net) slots.
+/// Labels bind at world coordinates.
+///
+/// Equivalent to `extractFlat` of the full flatten (up to net renaming
+/// and transistor order — compare with `netlistsEquivalent`) on
+/// *well-formed* hierarchies: contacts and transistors wholly inside
+/// their cell (what the generators produce and DRC's contact rules
+/// enforce); cross-cell connection happens by layer abutment or through
+/// boundary-straddling vias whose own cell provides the contacted
+/// layers.
+[[nodiscard]] ExtractResult extractHier(const cell::HierIndex& hier,
+                                        const std::vector<NetLabel>& labels,
+                                        const ExtractOptions& opts = {});
+
+/// True when two extraction results describe the same circuit up to net
+/// renaming and transistor order: equal node counts, equal transistor
+/// multisets keyed by (location, kind, W/L), and matching per-net
+/// connection signatures (which transistors each net touches, as gate or
+/// source/drain). On mismatch, `why` (when non-null) gets a one-line
+/// reason. The hier-vs-flat equivalence gate of `bench_hier_scaling`.
+[[nodiscard]] bool netlistsEquivalent(const ExtractResult& a, const ExtractResult& b,
+                                      std::string* why = nullptr);
 
 /// Rectangle difference: `base` minus all `holes`, as a rect decomposition.
 /// Exposed for tests; extraction uses it to fracture diffusion at gates.

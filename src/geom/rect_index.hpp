@@ -42,6 +42,12 @@ class RectIndex {
   [[nodiscard]] const std::vector<Rect>& rects() const noexcept { return rects_; }
   [[nodiscard]] Coord cellSize() const noexcept { return cs_; }
 
+  /// Resident-size estimate (rect snapshot + CSR bucket arrays).
+  [[nodiscard]] std::size_t approxBytes() const noexcept {
+    return rects_.size() * sizeof(Rect) +
+           (start_.size() + items_.size()) * sizeof(std::uint32_t);
+  }
+
   /// Indices of all rects that touch `q` (shared edges/corners count —
   /// the electrical-connectivity predicate). Ascending, deduplicated.
   [[nodiscard]] std::vector<int> queryTouching(const Rect& q) const;

@@ -100,9 +100,9 @@ std::string writeCif(const Cell& top, const CifOptions& opts) {
   return os.str();
 }
 
-std::string writeCif(const cell::FlatLayout& flat, const ViewOptions& view,
-                     const CifOptions& opts) {
-  const View v{flat, view};
+std::string writeCifHier(const Cell& top, const CifOptions& opts) { return writeCif(top, opts); }
+
+std::string writeCif(const View& v, const CifOptions& opts) {
   std::ostringstream os;
   if (opts.comments) {
     os << "( Bristle Blocks silicon compiler -- CIF 2.0 mask set );\n";
@@ -110,7 +110,6 @@ std::string writeCif(const cell::FlatLayout& flat, const ViewOptions& view,
   }
   os << "DS 1 " << opts.scaleNum << ' ' << opts.scaleDen << ";\n";
   if (opts.symbolNames) os << "9 flat;\n";
-  const auto polys = v.polygons();
   for (tech::Layer l : tech::kAllLayers) {
     bool wroteLayer = false;
     auto needLayer = [&] {
@@ -119,25 +118,32 @@ std::string writeCif(const cell::FlatLayout& flat, const ViewOptions& view,
         wroteLayer = true;
       }
     };
-    v.forEachTileParallel(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+    v.forEachTileParallel(l, [&](std::size_t tx, std::size_t ty,
+                                 const std::vector<geom::Rect>& rs) {
       for (const geom::Rect& r : rs) {
         needLayer();
         os << "B " << r.width() << ' ' << r.height() << ' ' << r.center().x << ' '
            << r.center().y << ";\n";
       }
+      // This tile's polygons, each emitted from exactly one owner tile.
+      for (const auto& [pl, p] : v.polygonsOwnedBy(tx, ty)) {
+        if (pl != l) continue;
+        needLayer();
+        os << "P";
+        for (geom::Point q : p->pts) os << ' ' << q.x << ' ' << q.y;
+        os << ";\n";
+      }
     });
-    for (const auto& [pl, p] : polys) {
-      if (pl != l) continue;
-      needLayer();
-      os << "P";
-      for (geom::Point q : p->pts) os << ' ' << q.x << ' ' << q.y;
-      os << ";\n";
-    }
   }
   os << "DF;\n";
   os << "C 1;\n";
   os << "E\n";
   return os.str();
+}
+
+std::string writeCif(const cell::FlatLayout& flat, const ViewOptions& view,
+                     const CifOptions& opts) {
+  return writeCif(View{flat, view}, opts);
 }
 
 CifStats cifStats(const std::string& cif) {

@@ -30,15 +30,32 @@ struct CifOptions {
 /// Write `top` and its whole hierarchy as a CIF file ending in `E`.
 [[nodiscard]] std::string writeCif(const cell::Cell& top, const CifOptions& opts = {});
 
-/// Write flattened artwork as one CIF symbol (DS 1), geometry streamed
-/// tile by tile from a `layout::View` — the windowed-emission path.
-/// Boxes come out in the View's deterministic tile order; polygons whose
-/// bbox touches the window are emitted whole after each layer's boxes.
-/// The default `view` (whole-artwork window, one tile, no merging) is
+/// Hierarchical mask output, spelled out: one DS/DF symbol per unique
+/// cell and a C call per instance — never a flattened copy — so the
+/// file size scales with unique-cell geometry plus instance count, not
+/// the flattened rect count (the GDS counterpart is `writeGdsHier`).
+/// Today `writeCif(Cell)` already preserves hierarchy, so this is that
+/// writer under the name the hierarchical-compile API promises; callers
+/// choosing flat vs hier emission pair `writeCif(FlatLayout)` with
+/// `writeCifHier`. Area-identical to the flat emission of the same cell
+/// (the round-trip tests parse it back and compare per-layer union
+/// areas).
+[[nodiscard]] std::string writeCifHier(const cell::Cell& top, const CifOptions& opts = {});
+
+/// Write a View's artwork as one CIF symbol (DS 1), geometry streamed
+/// tile by tile — the windowed-emission path, and (through the
+/// `View(HierIndex)` constructor) the lazy-viewport path that never
+/// materializes the full flatten. Boxes come out in the View's
+/// deterministic tile order; each window-touching polygon is emitted
+/// whole from exactly its owner tile (`View::polygonsOwnedBy`), after
+/// that tile's boxes. A default single-tile whole-artwork view is
 /// bit-identical to walking the raw layer vectors front to back; with
-/// `view.merge` the boxes are the disjoint maximal pieces instead (note
+/// merging the boxes are the disjoint maximal pieces instead (note
 /// merged/clipped boxes can have odd extents, whose CIF centers round
 /// down — the same quarter-lambda caveat as the hierarchical writer).
+[[nodiscard]] std::string writeCif(const View& v, const CifOptions& opts = {});
+
+/// Convenience: open a View over `flat` with `view` and write it.
 [[nodiscard]] std::string writeCif(const cell::FlatLayout& flat, const ViewOptions& view,
                                    const CifOptions& opts = {});
 

@@ -1,8 +1,10 @@
 #include "layout/gds.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <utility>
 
 namespace bb::layout {
 
@@ -23,12 +25,14 @@ enum : std::uint8_t {
   kBoundary = 0x08,
   kPath = 0x09,
   kSref = 0x0a,
+  kAref = 0x0b,
   kLayer = 0x0d,
   kDatatype = 0x0e,
   kWidth = 0x0f,
   kXy = 0x10,
   kEndEl = 0x11,
   kSname = 0x12,
+  kColRow = 0x13,
   kStrans = 0x1a,
   kAngle = 0x1c,
 };
@@ -156,6 +160,124 @@ GdsOrient gdsOrient(geom::Orientation o) {
   return {false, 0};
 }
 
+/// Emit STRANS (+ ANGLE) for a placement orientation — shared by SREF
+/// and AREF, which encode orientation identically.
+void emitOrient(Emitter& e, geom::Orientation o) {
+  const GdsOrient go = gdsOrient(o);
+  if (go.reflect || go.angleDeg != 0) {
+    e.i16(kStrans, {static_cast<std::int16_t>(go.reflect ? -32768 : 0)});
+    if (go.angleDeg != 0) e.f64(kAngle, {go.angleDeg});
+  }
+}
+
+/// Emit one cell's own shapes (boundaries for rects/polygons, PATH for
+/// paths) — shared by the flat-order and AREF-compressing writers.
+void emitShapes(Emitter& e, const Cell& c) {
+  for (const cell::Shape& s : c.shapes()) {
+    const int layer = tech::gdsNumber(s.layer);
+    std::visit(
+        [&](const auto& g) {
+          using T = std::decay_t<decltype(g)>;
+          if constexpr (std::is_same_v<T, geom::Rect>) {
+            e.none(kBoundary);
+            e.i16(kLayer, {static_cast<std::int16_t>(layer)});
+            e.i16(kDatatype, {0});
+            e.i32(kXy, rectXy(g));
+            e.none(kEndEl);
+          } else if constexpr (std::is_same_v<T, geom::Polygon>) {
+            e.none(kBoundary);
+            e.i16(kLayer, {static_cast<std::int16_t>(layer)});
+            e.i16(kDatatype, {0});
+            std::vector<std::int32_t> xy;
+            for (geom::Point p : g.pts) {
+              xy.push_back(static_cast<std::int32_t>(p.x));
+              xy.push_back(static_cast<std::int32_t>(p.y));
+            }
+            // GDS boundaries repeat the first point.
+            if (!g.pts.empty()) {
+              xy.push_back(static_cast<std::int32_t>(g.pts[0].x));
+              xy.push_back(static_cast<std::int32_t>(g.pts[0].y));
+            }
+            e.i32(kXy, xy);
+            e.none(kEndEl);
+          } else {
+            e.none(kPath);
+            e.i16(kLayer, {static_cast<std::int16_t>(layer)});
+            e.i16(kDatatype, {0});
+            e.i32(kWidth, {static_cast<std::int32_t>(g.width)});
+            std::vector<std::int32_t> xy;
+            for (geom::Point p : g.pts) {
+              xy.push_back(static_cast<std::int32_t>(p.x));
+              xy.push_back(static_cast<std::int32_t>(p.y));
+            }
+            e.i32(kXy, xy);
+            e.none(kEndEl);
+          }
+        },
+        s.geo);
+  }
+}
+
+void emitSref(Emitter& e, const Cell& child, geom::Orientation o, geom::Point off) {
+  e.none(kSref);
+  e.ascii(kSname, child.name());
+  emitOrient(e, o);
+  e.i32(kXy,
+        {static_cast<std::int32_t>(off.x), static_cast<std::int32_t>(off.y)});
+  e.none(kEndEl);
+}
+
+/// A full uniformly-spaced cartesian grid fit over a set of placement
+/// offsets (what one AREF can express).
+struct GridFit {
+  bool ok = false;
+  std::int16_t cols = 0, rows = 0;
+  geom::Coord dx = 0, dy = 0;
+  geom::Point origin;
+};
+
+GridFit fitGrid(const std::vector<geom::Point>& offs) {
+  GridFit fit;
+  if (offs.size() < 2) return fit;  // a 1x1 "array" is just an SREF
+  std::vector<geom::Coord> xs, ys;
+  xs.reserve(offs.size());
+  ys.reserve(offs.size());
+  for (const geom::Point& p : offs) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  // Distinct offsets all drawn from xs x ys: count equality with the
+  // full product means every combination is present exactly once.
+  if (xs.size() * ys.size() != offs.size()) return fit;
+  {
+    std::vector<std::pair<geom::Coord, geom::Coord>> uniq;
+    uniq.reserve(offs.size());
+    for (const geom::Point& p : offs) uniq.emplace_back(p.x, p.y);
+    std::sort(uniq.begin(), uniq.end());
+    if (std::adjacent_find(uniq.begin(), uniq.end()) != uniq.end()) return fit;
+  }
+  if (xs.size() > 32767 || ys.size() > 32767) return fit;  // COLROW is i16
+  const geom::Coord dx = xs.size() > 1 ? xs[1] - xs[0] : 0;
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+    if (xs[i + 1] - xs[i] != dx) return fit;
+  }
+  const geom::Coord dy = ys.size() > 1 ? ys[1] - ys[0] : 0;
+  for (std::size_t i = 1; i + 1 < ys.size(); ++i) {
+    if (ys[i + 1] - ys[i] != dy) return fit;
+  }
+  fit.ok = true;
+  fit.cols = static_cast<std::int16_t>(xs.size());
+  fit.rows = static_cast<std::int16_t>(ys.size());
+  fit.dx = dx;
+  fit.dy = dy;
+  fit.origin = {xs.front(), ys.front()};
+  return fit;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> writeGds(const Cell& top, const GdsOptions& opts) {
@@ -174,60 +296,9 @@ std::vector<std::uint8_t> writeGds(const Cell& top, const GdsOptions& opts) {
   for (const Cell* c : order) {
     e.i16(kBgnStr, {1979, 6, 25, 0, 0, 0, 1979, 6, 25, 0, 0, 0});
     e.ascii(kStrName, c->name());
-    for (const cell::Shape& s : c->shapes()) {
-      const int layer = tech::gdsNumber(s.layer);
-      std::visit(
-          [&](const auto& g) {
-            using T = std::decay_t<decltype(g)>;
-            if constexpr (std::is_same_v<T, geom::Rect>) {
-              e.none(kBoundary);
-              e.i16(kLayer, {static_cast<std::int16_t>(layer)});
-              e.i16(kDatatype, {0});
-              e.i32(kXy, rectXy(g));
-              e.none(kEndEl);
-            } else if constexpr (std::is_same_v<T, geom::Polygon>) {
-              e.none(kBoundary);
-              e.i16(kLayer, {static_cast<std::int16_t>(layer)});
-              e.i16(kDatatype, {0});
-              std::vector<std::int32_t> xy;
-              for (geom::Point p : g.pts) {
-                xy.push_back(static_cast<std::int32_t>(p.x));
-                xy.push_back(static_cast<std::int32_t>(p.y));
-              }
-              // GDS boundaries repeat the first point.
-              if (!g.pts.empty()) {
-                xy.push_back(static_cast<std::int32_t>(g.pts[0].x));
-                xy.push_back(static_cast<std::int32_t>(g.pts[0].y));
-              }
-              e.i32(kXy, xy);
-              e.none(kEndEl);
-            } else {
-              e.none(kPath);
-              e.i16(kLayer, {static_cast<std::int16_t>(layer)});
-              e.i16(kDatatype, {0});
-              e.i32(kWidth, {static_cast<std::int32_t>(g.width)});
-              std::vector<std::int32_t> xy;
-              for (geom::Point p : g.pts) {
-                xy.push_back(static_cast<std::int32_t>(p.x));
-                xy.push_back(static_cast<std::int32_t>(p.y));
-              }
-              e.i32(kXy, xy);
-              e.none(kEndEl);
-            }
-          },
-          s.geo);
-    }
+    emitShapes(e, *c);
     for (const cell::Instance& i : c->instances()) {
-      e.none(kSref);
-      e.ascii(kSname, i.cell->name());
-      const GdsOrient go = gdsOrient(i.placement.orient);
-      if (go.reflect || go.angleDeg != 0) {
-        e.i16(kStrans, {static_cast<std::int16_t>(go.reflect ? -32768 : 0)});
-        if (go.angleDeg != 0) e.f64(kAngle, {go.angleDeg});
-      }
-      e.i32(kXy, {static_cast<std::int32_t>(i.placement.offset.x),
-                  static_cast<std::int32_t>(i.placement.offset.y)});
-      e.none(kEndEl);
+      emitSref(e, *i.cell, i.placement.orient, i.placement.offset);
     }
     e.none(kEndStr);
   }
@@ -235,9 +306,63 @@ std::vector<std::uint8_t> writeGds(const Cell& top, const GdsOptions& opts) {
   return e.take();
 }
 
-std::vector<std::uint8_t> writeGds(const cell::FlatLayout& flat, const ViewOptions& view,
-                                   const GdsOptions& opts) {
-  const View v{flat, view};
+std::vector<std::uint8_t> writeGdsHier(const Cell& top, const GdsOptions& opts) {
+  std::vector<const Cell*> order;
+  std::map<const Cell*, bool> seen;
+  collect(top, order, seen);
+
+  Emitter e;
+  e.i16(kHeader, {600});
+  e.i16(kBgnLib, {1979, 6, 25, 0, 0, 0, 1979, 6, 25, 0, 0, 0});
+  e.ascii(kLibName, opts.libName);
+  e.f64(kUnits, {1.0 / opts.dbPerUser, opts.unitMeters / opts.dbPerUser});
+
+  for (const Cell* c : order) {
+    e.i16(kBgnStr, {1979, 6, 25, 0, 0, 0, 1979, 6, 25, 0, 0, 0});
+    e.ascii(kStrName, c->name());
+    emitShapes(e, *c);
+    // Group instances by (child, orientation), first-appearance order;
+    // a group forming a full uniform grid compresses to one AREF.
+    struct Group {
+      const Cell* child;
+      geom::Orientation o;
+      std::vector<geom::Point> offsets;
+    };
+    std::vector<Group> groups;
+    std::map<std::pair<const Cell*, int>, std::size_t> groupOf;
+    for (const cell::Instance& i : c->instances()) {
+      const auto key = std::make_pair(i.cell, static_cast<int>(i.placement.orient));
+      const auto [it, fresh] = groupOf.try_emplace(key, groups.size());
+      if (fresh) groups.push_back({i.cell, i.placement.orient, {}});
+      groups[it->second].offsets.push_back(i.placement.offset);
+    }
+    for (const Group& g : groups) {
+      const GridFit fit = fitGrid(g.offsets);
+      if (fit.ok) {
+        e.none(kAref);
+        e.ascii(kSname, g.child->name());
+        emitOrient(e, g.o);
+        e.i16(kColRow, {fit.cols, fit.rows});
+        // Three-point XY: array origin, end of the column axis
+        // (origin + cols * dx), end of the row axis (origin + rows * dy).
+        const geom::Coord cx = fit.origin.x + static_cast<geom::Coord>(fit.cols) * fit.dx;
+        const geom::Coord ry = fit.origin.y + static_cast<geom::Coord>(fit.rows) * fit.dy;
+        e.i32(kXy, {static_cast<std::int32_t>(fit.origin.x),
+                    static_cast<std::int32_t>(fit.origin.y), static_cast<std::int32_t>(cx),
+                    static_cast<std::int32_t>(fit.origin.y),
+                    static_cast<std::int32_t>(fit.origin.x), static_cast<std::int32_t>(ry)});
+        e.none(kEndEl);
+      } else {
+        for (const geom::Point& off : g.offsets) emitSref(e, *g.child, g.o, off);
+      }
+    }
+    e.none(kEndStr);
+  }
+  e.none(kEndLib);
+  return e.take();
+}
+
+std::vector<std::uint8_t> writeGds(const View& v, const GdsOptions& opts) {
   Emitter e;
   e.i16(kHeader, {600});
   e.i16(kBgnLib, {1979, 6, 25, 0, 0, 0, 1979, 6, 25, 0, 0, 0});
@@ -246,10 +371,10 @@ std::vector<std::uint8_t> writeGds(const cell::FlatLayout& flat, const ViewOptio
 
   e.i16(kBgnStr, {1979, 6, 25, 0, 0, 0, 1979, 6, 25, 0, 0, 0});
   e.ascii(kStrName, opts.flatStructName);
-  const auto polys = v.polygons();
   for (tech::Layer l : tech::kAllLayers) {
     const auto layer = static_cast<std::int16_t>(tech::gdsNumber(l));
-    v.forEachTileParallel(l, [&](std::size_t, std::size_t, const std::vector<geom::Rect>& rs) {
+    v.forEachTileParallel(l, [&](std::size_t tx, std::size_t ty,
+                                 const std::vector<geom::Rect>& rs) {
       for (const geom::Rect& r : rs) {
         e.none(kBoundary);
         e.i16(kLayer, {layer});
@@ -257,28 +382,34 @@ std::vector<std::uint8_t> writeGds(const cell::FlatLayout& flat, const ViewOptio
         e.i32(kXy, rectXy(r));
         e.none(kEndEl);
       }
+      // This tile's polygons, each emitted from exactly one owner tile.
+      for (const auto& [pl, p] : v.polygonsOwnedBy(tx, ty)) {
+        if (pl != l) continue;
+        e.none(kBoundary);
+        e.i16(kLayer, {layer});
+        e.i16(kDatatype, {0});
+        std::vector<std::int32_t> xy;
+        for (geom::Point q : p->pts) {
+          xy.push_back(static_cast<std::int32_t>(q.x));
+          xy.push_back(static_cast<std::int32_t>(q.y));
+        }
+        if (!p->pts.empty()) {
+          xy.push_back(static_cast<std::int32_t>(p->pts[0].x));
+          xy.push_back(static_cast<std::int32_t>(p->pts[0].y));
+        }
+        e.i32(kXy, xy);
+        e.none(kEndEl);
+      }
     });
-    for (const auto& [pl, p] : polys) {
-      if (pl != l) continue;
-      e.none(kBoundary);
-      e.i16(kLayer, {layer});
-      e.i16(kDatatype, {0});
-      std::vector<std::int32_t> xy;
-      for (geom::Point q : p->pts) {
-        xy.push_back(static_cast<std::int32_t>(q.x));
-        xy.push_back(static_cast<std::int32_t>(q.y));
-      }
-      if (!p->pts.empty()) {
-        xy.push_back(static_cast<std::int32_t>(p->pts[0].x));
-        xy.push_back(static_cast<std::int32_t>(p->pts[0].y));
-      }
-      e.i32(kXy, xy);
-      e.none(kEndEl);
-    }
   }
   e.none(kEndStr);
   e.none(kEndLib);
   return e.take();
+}
+
+std::vector<std::uint8_t> writeGds(const cell::FlatLayout& flat, const ViewOptions& view,
+                                   const GdsOptions& opts) {
+  return writeGds(View{flat, view}, opts);
 }
 
 GdsStats gdsStats(const std::vector<std::uint8_t>& bytes) {
@@ -303,6 +434,7 @@ GdsStats gdsStats(const std::vector<std::uint8_t>& bytes) {
       case kBoundary: ++st.boundaries; break;
       case kPath: ++st.paths; break;
       case kSref: ++st.srefs; break;
+      case kAref: ++st.arefs; break;
       case kEndLib: sawEndLib = true; break;
       default: break;
     }

@@ -31,23 +31,42 @@ struct GdsOptions {
 [[nodiscard]] std::vector<std::uint8_t> writeGds(const cell::Cell& top,
                                                  const GdsOptions& opts = {});
 
-/// Serialize flattened artwork as a single GDSII structure, geometry
-/// streamed tile by tile from a `layout::View` — the windowed-emission
-/// path. Boundaries come out in the View's deterministic tile order,
-/// each layer's rects followed by its window-touching polygons. The
-/// default `view` is bit-identical to walking the raw layer vectors;
-/// `view.merge` emits the disjoint maximal pieces instead.
+/// Hierarchical mask output with array compression: one structure per
+/// unique cell (like `writeGds`), but each parent's instances are
+/// grouped by (child, orientation) and any group forming a full
+/// uniformly-spaced cartesian grid is emitted as a single AREF
+/// (COLROW + three-point XY) instead of cols x rows SREFs — the shape
+/// an NxN datapath array compiles to, making file size scale with
+/// unique-cell geometry plus O(1) per array. Groups that don't form a
+/// grid fall back to individual SREFs; the placed instance set (and so
+/// the flattened artwork) is identical to `writeGds` either way.
+[[nodiscard]] std::vector<std::uint8_t> writeGdsHier(const cell::Cell& top,
+                                                     const GdsOptions& opts = {});
+
+/// Serialize a View's artwork as a single GDSII structure, geometry
+/// streamed tile by tile — the windowed-emission path, and (through the
+/// `View(HierIndex)` constructor) the lazy-viewport path. Boundaries
+/// come out in the View's deterministic tile order; each window-touching
+/// polygon is emitted whole from exactly its owner tile
+/// (`View::polygonsOwnedBy`), after that tile's rects. A default
+/// single-tile whole-artwork view is bit-identical to walking the raw
+/// layer vectors; merging emits the disjoint maximal pieces instead.
+[[nodiscard]] std::vector<std::uint8_t> writeGds(const View& v, const GdsOptions& opts = {});
+
+/// Convenience: open a View over `flat` with `view` and write it.
 [[nodiscard]] std::vector<std::uint8_t> writeGds(const cell::FlatLayout& flat,
                                                  const ViewOptions& view,
                                                  const GdsOptions& opts = {});
 
 /// Minimal structural decode of a GDSII stream (record walk) for tests:
-/// counts of structures, boundaries, paths and srefs, plus structure names.
+/// counts of structures, boundaries, paths, srefs and arefs, plus
+/// structure names.
 struct GdsStats {
   std::size_t structures = 0;
   std::size_t boundaries = 0;
   std::size_t paths = 0;
   std::size_t srefs = 0;
+  std::size_t arefs = 0;
   std::vector<std::string> names;
   bool wellFormed = false;
 };

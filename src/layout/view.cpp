@@ -8,6 +8,52 @@ namespace bb::layout {
 View::View(const cell::FlatLayout& flat, ViewOptions opts)
     : flat_(&flat), opts_(std::move(opts)) {
   window_ = opts_.window ? *opts_.window : flat.bbox();
+  initGrid();
+}
+
+View::View(const cell::HierIndex& hier, ViewOptions opts) : flat_(nullptr), opts_(std::move(opts)) {
+  window_ = opts_.window ? *opts_.window : hier.bbox();
+  // Resolve only what the window can see: residual geometry through the
+  // per-layer indexes, then each placement whose world bbox touches the
+  // window through its unit's indexes with the window pulled into unit
+  // coordinates. Everything else in the hierarchy stays unmaterialized.
+  auto owned = std::make_shared<cell::FlatLayout>();
+  for (std::size_t li = 0; li < tech::kLayerCount; ++li) {
+    const auto l = static_cast<tech::Layer>(li);
+    const geom::RectIndex& idx = hier.residual().indexOn(l);
+    auto& out = owned->on(l);
+    for (const int i : idx.queryTouching(window_)) {
+      out.push_back(idx.rect(static_cast<std::size_t>(i)));
+    }
+  }
+  for (const auto& [pl, poly] : hier.residual().polygons) {
+    if (poly.bbox().touches(window_)) owned->polygons.emplace_back(pl, poly);
+  }
+  std::uint64_t resolved = 0;
+  hier.forEachPlacementNear(window_, 0, [&](std::size_t pi) {
+    ++resolved;
+    const cell::HierPlacement& p = hier.placements()[pi];
+    const cell::HierUnit& u = hier.units()[p.unit];
+    const geom::Rect lw = p.t.inverted()(window_);
+    for (std::size_t li = 0; li < tech::kLayerCount; ++li) {
+      const auto l = static_cast<tech::Layer>(li);
+      const geom::RectIndex& idx = u.flat.indexOn(l);
+      auto& out = owned->on(l);
+      for (const int i : idx.queryTouching(lw)) {
+        out.push_back(p.t(idx.rect(static_cast<std::size_t>(i))));
+      }
+    }
+    for (const auto& [pl, poly] : u.flat.polygons) {
+      if (poly.bbox().touches(lw)) owned->polygons.emplace_back(pl, p.t(poly));
+    }
+  });
+  hier.noteMaterialized(resolved);
+  owned_ = std::move(owned);
+  flat_ = owned_.get();
+  initGrid();
+}
+
+void View::initGrid() noexcept {
   const geom::Coord w = window_.width();
   const geom::Coord h = window_.height();
   if (opts_.tileSize > 0) {
@@ -117,6 +163,21 @@ std::vector<std::pair<tech::Layer, const geom::Polygon*>> View::polygons() const
   std::vector<std::pair<tech::Layer, const geom::Polygon*>> out;
   for (const auto& [l, p] : flat_->polygons) {
     if (p.bbox().touches(window_)) out.emplace_back(l, &p);
+  }
+  return out;
+}
+
+std::vector<std::pair<tech::Layer, const geom::Polygon*>> View::polygonsOwnedBy(
+    std::size_t tx, std::size_t ty) const {
+  std::vector<std::pair<tech::Layer, const geom::Polygon*>> out;
+  for (const auto& [l, p] : flat_->polygons) {
+    const geom::Rect b = p.bbox();
+    if (!b.touches(window_)) continue;
+    const geom::Coord ax = std::min(std::max(b.x0, window_.x0), window_.x1);
+    const geom::Coord ay = std::min(std::max(b.y0, window_.y0), window_.y1);
+    if (tileOf(ax, window_.x0, pitchX_, tilesX_) != tx) continue;
+    if (tileOf(ay, window_.y0, pitchY_, tilesY_) != ty) continue;
+    out.emplace_back(l, &p);
   }
   return out;
 }

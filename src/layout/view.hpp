@@ -29,12 +29,26 @@
 /// Polygons (which only CIF import produces today) are not spatially
 /// indexed; the View filters them by bounding box against the window and
 /// emits survivors whole, so windowed emission never silently drops a
-/// polygon that reaches into the viewport.
+/// polygon that reaches into the viewport. Tiled writers assign each
+/// surviving polygon to exactly one owner tile (`polygonsOwnedBy`, the
+/// same window-clamped lower-left rule the rects use), so a
+/// boundary-spanning polygon is never re-emitted per touching tile.
+///
+/// A View can also be opened over a `cell::HierIndex` instead of a full
+/// flatten: the constructor resolves ONLY the placements whose bounding
+/// boxes touch the window (plus the residual geometry in the window)
+/// into a private FlatLayout, so a viewport over an NxN array
+/// materializes O(window) geometry, never the whole flatten. The
+/// index's instance-materialization counter records how many placements
+/// were resolved — the svc viewport tests assert through it.
 
 #pragma once
 
 #include "cell/flatten.hpp"
+#include "cell/hier_index.hpp"
 #include "geom/geometry.hpp"
+
+#include <memory>
 
 #include <functional>
 #include <optional>
@@ -62,6 +76,16 @@ class View {
   /// cheap; the per-layer indexes are built lazily by FlatLayout on the
   /// first query of each layer.
   explicit View(const cell::FlatLayout& flat, ViewOptions opts = {});
+
+  /// Open a view over hierarchical artwork WITHOUT flattening it: only
+  /// the residual geometry inside the window plus the placements whose
+  /// world bboxes touch the window are materialized (into a private
+  /// layout this View owns), and `hier.noteMaterialized` records how
+  /// many placements were resolved. `hier` may be released after
+  /// construction. An unset `opts.window` views `hier.bbox()` — the
+  /// full-chip case, equivalent to a flat View but still built from
+  /// per-unit index queries.
+  explicit View(const cell::HierIndex& hier, ViewOptions opts = {});
 
   [[nodiscard]] const cell::FlatLayout& flat() const noexcept { return *flat_; }
   [[nodiscard]] const geom::Rect& window() const noexcept { return window_; }
@@ -104,6 +128,15 @@ class View {
   /// over-emission rather than silent loss.
   [[nodiscard]] std::vector<std::pair<tech::Layer, const geom::Polygon*>> polygons() const;
 
+  /// The window-touching polygons OWNED by tile (tx, ty): the tile
+  /// containing the polygon bbox's window-clamped lower-left corner,
+  /// exactly the rect owner rule — so a tiled writer emits each polygon
+  /// exactly once, from one tile, instead of once per touching tile.
+  /// Source order within the tile. Linear in the polygon count per call
+  /// (polygons are rare — CIF import only — and not spatially indexed).
+  [[nodiscard]] std::vector<std::pair<tech::Layer, const geom::Polygon*>> polygonsOwnedBy(
+      std::size_t tx, std::size_t ty) const;
+
  private:
   /// Tile column/row owning window-clamped coordinate `v` along an axis
   /// starting at `lo` with `count` tiles of pitch `pitch`.
@@ -118,7 +151,13 @@ class View {
                    std::vector<int>& cand, std::vector<geom::Rect>& clipped,
                    std::vector<geom::Rect>& out) const;
 
+  /// Size the tile grid from `window_` (shared by both constructors).
+  void initGrid() noexcept;
+
   const cell::FlatLayout* flat_;
+  /// Set by the HierIndex constructor: the window-resolved geometry this
+  /// View materialized and owns (`flat_` points at it).
+  std::shared_ptr<const cell::FlatLayout> owned_;
   ViewOptions opts_;
   geom::Rect window_;
   geom::Coord pitchX_ = 1, pitchY_ = 1;

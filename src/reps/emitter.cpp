@@ -59,7 +59,7 @@ class FnEmitter final : public Emitter {
   }
   void emit(const core::CompiledChip& chip, std::ostream& os,
             const EmitterOptions& opts) const override {
-    if (wfn_ != nullptr && opts.windowed()) {
+    if (wfn_ != nullptr && (opts.windowed() || opts.hierarchical)) {
       wfn_(chip, os, opts);
     } else {
       fn_(chip, os);
@@ -79,6 +79,15 @@ void emitCif(const core::CompiledChip& chip, std::ostream& os) {
 
 void emitCifWindowed(const core::CompiledChip& chip, std::ostream& os,
                      const EmitterOptions& opts) {
+  if (opts.hierarchical) {
+    if (opts.windowed()) {
+      // Lazy viewport: the View resolves only window-touching instances.
+      os << layout::writeCif(layout::View{chip.hierTop(), toViewOptions(opts)});
+    } else {
+      os << layout::writeCifHier(*chip.top);
+    }
+    return;
+  }
   os << layout::writeCif(chip.flatTop(), toViewOptions(opts));
 }
 
@@ -90,7 +99,17 @@ void emitGds(const core::CompiledChip& chip, std::ostream& os) {
 
 void emitGdsWindowed(const core::CompiledChip& chip, std::ostream& os,
                      const EmitterOptions& opts) {
-  const std::vector<std::uint8_t> bytes = layout::writeGds(chip.flatTop(), toViewOptions(opts));
+  std::vector<std::uint8_t> bytes;
+  if (opts.hierarchical) {
+    if (opts.windowed()) {
+      // Lazy viewport: the View resolves only window-touching instances.
+      bytes = layout::writeGds(layout::View{chip.hierTop(), toViewOptions(opts)});
+    } else {
+      bytes = layout::writeGdsHier(*chip.top);
+    }
+  } else {
+    bytes = layout::writeGds(chip.flatTop(), toViewOptions(opts));
+  }
   os.write(reinterpret_cast<const char*>(bytes.data()),
            static_cast<std::streamsize>(bytes.size()));
 }

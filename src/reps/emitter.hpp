@@ -36,6 +36,13 @@ struct EmitterOptions {
   geom::Coord tileSize = 0;
   /// Merge each tile's rects into disjoint maximal pieces.
   bool mergeTiles = false;
+  /// Route geometry through the chip's hierarchical index instead of the
+  /// full flatten. Full-chip cif/gds become `writeCifHier`/`writeGdsHier`
+  /// (symbol calls / SREF+AREF, never a flattened copy); windowed cif/gds
+  /// open the `View` over `CompiledChip::hierTop()`, so the viewport
+  /// resolves only window-touching instances. Non-geometry backends (and
+  /// svg, which renders from the cell tree already) ignore it.
+  bool hierarchical = false;
 
   /// True when any windowing/streaming behaviour was requested.
   [[nodiscard]] bool windowed() const noexcept {

@@ -102,10 +102,12 @@ CompileResponse CompileService::compile(const CompileRequest& req) {
   if (result) {
     handle = ChipHandle(std::move(*result));
     if (opts_.prewarmChips) {
-      // Build the flattens and per-layer spatial indexes before the chip
-      // becomes shared: later viewport/emit reads are then const-only.
+      // Build the flattens, the hierarchical index and the per-layer
+      // spatial indexes before the chip becomes shared: later
+      // viewport/emit reads (flat or hierarchical) are then const-only.
       handle->flatTop().buildIndexes();
       handle->flatCore().buildIndexes();
+      handle->hierTop().buildIndexes();
     }
     cache_.insert(resp.key, handle);
   }
@@ -243,6 +245,7 @@ void CompileService::batchStage(BatchState& b, std::size_t i,
     if (opts_.prewarmChips) {
       handle->flatTop().buildIndexes();
       handle->flatCore().buildIndexes();
+      handle->hierTop().buildIndexes();
     }
     cache_.insert(key, handle);
   }
@@ -380,6 +383,7 @@ EmitResponse CompileService::viewport(const ViewportRequest& req) {
   eopts.window = req.window;
   eopts.tileSize = req.tileSize;
   eopts.mergeTiles = req.mergeTiles;
+  eopts.hierarchical = req.hierarchical;
   return emitImpl(req.chip, req.format, eopts);
 }
 

@@ -26,9 +26,11 @@
 ///    and the service load bench via `ServiceStats::compilesExecuted`).
 ///
 /// Thread safety: every public method may be called concurrently.
-/// Chips entering the cache are prewarmed (`flatTop`/`flatCore` flattens
-/// + spatial indexes built) before they become visible, so concurrent
-/// viewport queries only ever perform const reads on shared chips.
+/// Chips entering the cache are prewarmed (`flatTop`/`flatCore`
+/// flattens, the `hierTop` hierarchical index, and their spatial
+/// indexes built) before they become visible, so concurrent viewport
+/// queries — flat or hierarchical — only ever perform const reads on
+/// shared chips.
 
 #pragma once
 
@@ -136,6 +138,13 @@ struct ViewportRequest {
   std::optional<geom::Rect> window;  ///< unset = whole artwork
   geom::Coord tileSize = 0;
   bool mergeTiles = false;
+  /// Serve the window from the chip's hierarchical index
+  /// (`CompiledChip::hierTop`) instead of the full flatten: only the
+  /// instances whose bboxes touch the window are resolved (asserted via
+  /// `cell::HierIndex::instancesMaterialized`). Prewarmed chips build
+  /// the index before entering the cache, so a warm hierarchical
+  /// viewport still runs zero compile stages and const reads only.
+  bool hierarchical = false;
 };
 
 struct EmitResponse {

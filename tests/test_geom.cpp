@@ -195,5 +195,56 @@ TEST(Transform, CompositionAssociative) {
   EXPECT_EQ(((a * b) * c)(p), (a * (b * c))(p));
 }
 
+TEST(Transform, ComposeMatchesSequentialApplication) {
+  // (a * b)(x) == a(b(x)) for every orientation pair, with translations
+  // deep in negative space, on points and on rects — the identity the
+  // hierarchical flattener and placement index lean on.
+  const Point p{-37, 451};
+  const Rect r{-1003, -77, -985, -31};
+  for (const Orientation oa : kAllOrientations) {
+    for (const Orientation ob : kAllOrientations) {
+      const Transform a{oa, {-201, 97}};
+      const Transform b{ob, {58, -4009}};
+      const Transform ab = a * b;
+      EXPECT_EQ(ab(p), a(b(p))) << name(oa) << " * " << name(ob);
+      EXPECT_EQ(ab(r), a(b(r))) << name(oa) << " * " << name(ob);
+    }
+  }
+}
+
+TEST(Transform, InverseRoundTripsUnderCompositionChains) {
+  const Rect r{-309, -515, -280, -462};
+  const Point p{-123, -8};
+  for (const Orientation oa : kAllOrientations) {
+    for (const Orientation ob : kAllOrientations) {
+      // Mixed rotation + mirror + translation chains, negative offsets.
+      const Transform t = Transform{oa, {-71, 33}} * Transform{ob, {14, -950}};
+      const Transform inv = t.inverted();
+      EXPECT_EQ(inv(t(r)), r) << name(oa) << " * " << name(ob);
+      EXPECT_EQ(t(inv(p)), p) << name(oa) << " * " << name(ob);
+      // t * t^-1 is the identity transform, not merely pointwise-identity.
+      EXPECT_EQ(t * inv, (Transform{})) << name(oa) << " * " << name(ob);
+      EXPECT_EQ(inv * t, (Transform{})) << name(oa) << " * " << name(ob);
+    }
+  }
+}
+
+TEST(Transform, RectCenterCommutesWithRigidTransforms) {
+  // center() floors toward negative infinity, so it commutes exactly
+  // with any of the eight orientations only on parity-even rects; the
+  // layout generators keep everything on the quarter-lambda grid with
+  // even extents, and the hierarchical CIF writer (B-record centers of
+  // transformed rects) relies on this invariance.
+  const Rect r{-40, -18, -12, 6};  // even width and height
+  for (const Orientation o : kAllOrientations) {
+    const Transform t{o, {-7, 13}};
+    EXPECT_EQ(t(r).center(), t(r.center())) << name(o);
+  }
+  // Pure translations commute regardless of parity.
+  const Rect odd{-5, -5, 2, 4};
+  const Transform shift = Transform::translate({-1001, 77});
+  EXPECT_EQ(shift(odd).center(), shift(odd.center()));
+}
+
 }  // namespace
 }  // namespace bb::geom

@@ -8,11 +8,13 @@
 /// single-flight dedup, option-fingerprint sensitivity, and viewport
 /// serving that never re-runs a compile stage on a warm cache).
 
+#include "cell/hier_index.hpp"
 #include "core/digest.hpp"
 #include "core/fingerprint.hpp"
 #include "core/samples.hpp"
 #include "core/session.hpp"
 #include "icl/builder.hpp"
+#include "layout/cif.hpp"
 #include "reps/emitter.hpp"
 #include "svc/cache.hpp"
 #include "svc/service.hpp"
@@ -565,6 +567,103 @@ TEST(CompileService, EvictionKeepsServingCorrectChips) {
   auto fresh = core::compileChip(a, {});
   ASSERT_TRUE(fresh);
   EXPECT_EQ(cifOf(*again.chip), cifOf(**fresh));
+}
+
+// ------------------------------------------- approxBytes cache charging
+
+TEST(ChipCacheCharge, MaterializedArtworkChargedWithinTwiceHandCount) {
+  // Regression for the cache under-charge: approxBytes used to count only
+  // the shared cell library, so a prewarmed chip's flattens (which
+  // replicate every instance) and hierarchical index slipped past the
+  // byte budget. The charge must grow when the derived artwork
+  // materializes, and the growth must stay within 2x of an independent
+  // hand count of that artwork's raw storage.
+  auto compiled = core::compileChip(core::samples::smallChip(4));
+  ASSERT_TRUE(compiled) << compiled.diagnostics().toString();
+  const core::CompiledChip cold = (*compiled)->clone();  // derived caches start null
+  const std::size_t base = cold.approxBytes();
+
+  const cell::FlatLayout& ft = cold.flatTop();
+  const cell::FlatLayout& fc = cold.flatCore();
+  const cell::HierIndex& hier = cold.hierTop();
+  const std::size_t warm = cold.approxBytes();
+
+  const auto rawFlatBytes = [](const cell::FlatLayout& f) {
+    std::size_t b = 0;
+    for (tech::Layer l : tech::kAllLayers) b += f.on(l).size() * sizeof(geom::Rect);
+    for (const auto& [pl, p] : f.polygons) {
+      (void)pl;
+      b += p.pts.size() * sizeof(geom::Point);
+    }
+    return b;
+  };
+  std::size_t hand = rawFlatBytes(ft) + rawFlatBytes(fc) + rawFlatBytes(hier.residual());
+  for (const cell::HierUnit& u : hier.units()) hand += rawFlatBytes(u.flat);
+  hand += hier.placements().size() * sizeof(cell::HierPlacement);
+  ASSERT_GT(hand, 0u);
+
+  const std::size_t delta = warm - base;
+  EXPECT_GE(delta, hand);
+  EXPECT_LE(delta, 2 * hand);
+}
+
+// ------------------------------------------------ hierarchical viewport
+
+TEST(Service, HierarchicalViewportResolvesOnlyWindowInstances) {
+  svc::CompileService service;
+  const icl::ChipDesc desc = core::samples::smallChip(4);
+  const auto first = service.compile(svc::CompileRequest::ofDesc(desc));
+  ASSERT_TRUE(first.ok()) << first.diags.toString();
+  // Prewarm built the hierarchical index before the chip entered the
+  // cache, so the warm viewport below performs const reads only.
+  ASSERT_TRUE(first.chip->hierTopBuilt());
+  const cell::HierIndex& hier = first.chip->hierTop();
+  const std::uint64_t before = hier.instancesMaterialized();
+  const std::size_t total = hier.placements().size();
+  ASSERT_GT(total, 1u);
+
+  const geom::Rect bb = hier.bbox();
+  svc::ViewportRequest req;
+  req.chip = svc::CompileRequest::ofDesc(desc);
+  req.hierarchical = true;
+  req.window = geom::Rect{bb.x0, bb.y0, bb.x0 + bb.width() / 8, bb.y0 + bb.height() / 8};
+  const svc::ServiceStats statsBefore = service.stats();
+  const auto resp = service.viewport(req);
+  ASSERT_TRUE(resp.ok) << resp.diags.toString();
+  EXPECT_TRUE(resp.cacheHit);
+  // Warm-path contract: zero compile stages ran for the viewport.
+  EXPECT_EQ(service.stats().compilesExecuted, statsBefore.compilesExecuted);
+
+  // The lazy-resolution contract: only the placements whose world boxes
+  // touch the corner window were materialized, not the whole chip.
+  const std::uint64_t resolved = hier.instancesMaterialized() - before;
+  EXPECT_GT(resolved, 0u);
+  EXPECT_LT(resolved, total);
+}
+
+TEST(Service, WholeArtworkHierarchicalViewportIsTheSymbolCallMask) {
+  svc::CompileService service;
+  const icl::ChipDesc desc = core::samples::smallChip(4);
+  const auto first = service.compile(svc::CompileRequest::ofDesc(desc));
+  ASSERT_TRUE(first.ok()) << first.diags.toString();
+
+  svc::ViewportRequest req;
+  req.chip = svc::CompileRequest::ofDesc(desc);
+  req.hierarchical = true;  // no window: the full symbol-call mask
+  const auto resp = service.viewport(req);
+  ASSERT_TRUE(resp.ok) << resp.diags.toString();
+  EXPECT_EQ(resp.payload, layout::writeCifHier(*first.chip->top));
+
+  // Symbol calls instead of flattened copies: smaller than the same
+  // artwork streamed through the windowed (flattening) path. (The plain
+  // whole-artwork viewport is already the hierarchical writer, so the
+  // flat reference must force the windowed walk.)
+  svc::ViewportRequest flatReq;
+  flatReq.chip = svc::CompileRequest::ofDesc(desc);
+  flatReq.window = first.chip->flatTop().bbox();
+  const auto flatResp = service.viewport(flatReq);
+  ASSERT_TRUE(flatResp.ok);
+  EXPECT_LT(resp.payload.size(), flatResp.payload.size());
 }
 
 }  // namespace

@@ -441,6 +441,46 @@ TEST(PolygonWindow, ImportedPolygonIsNeverSilentlyDropped) {
   EXPECT_EQ(View(flat, far).polygons().size(), 0u);
 }
 
+TEST(PolygonWindow, TiledEmissionEmitsSpanningPolygonExactlyOnce) {
+  cell::CellLibrary lib;
+  const layout::CifParseResult res = layout::parseCif(kPolyCif, lib);
+  ASSERT_TRUE(res.ok) << res.error;
+  const FlatLayout flat = cell::flatten(*res.top);
+  ASSERT_EQ(flat.polygons.size(), 1u);
+
+  // Tiles far smaller than the polygon's bbox: it touches many tiles,
+  // but only the one holding its window-clamped lower-left corner owns
+  // it, so tiled writers emit it exactly once.
+  ViewOptions w;
+  w.window = flat.bbox();
+  w.tileSize = 16;
+  const View v{flat, w};
+  ASSERT_GT(v.tileCount(), 8u);
+  std::size_t owned = 0;
+  for (std::size_t ty = 0; ty < v.tilesY(); ++ty) {
+    for (std::size_t tx = 0; tx < v.tilesX(); ++tx) {
+      owned += v.polygonsOwnedBy(tx, ty).size();
+    }
+  }
+  EXPECT_EQ(owned, 1u);
+
+  const std::string cif = layout::writeCif(flat, w);
+  std::size_t pRecords = 0;
+  for (auto pos = cif.find("P 0 0"); pos != std::string::npos;
+       pos = cif.find("P 0 0", pos + 1)) {
+    ++pRecords;
+  }
+  EXPECT_EQ(pRecords, 1u);
+
+  const auto gds = layout::writeGds(flat, w);
+  const layout::GdsStats st = layout::gdsStats(gds);
+  EXPECT_TRUE(st.wellFormed);
+  // One BOUNDARY for the polygon plus one per rect — no tile duplicates.
+  std::size_t rectCount = 0;
+  for (Layer l : tech::kAllLayers) rectCount += flat.on(l).size();
+  EXPECT_EQ(st.boundaries, 1u + rectCount);
+}
+
 // ----------------------------------------------------------- XML escaping
 
 TEST(XmlEscape, EscapesMarkupCharacters) {

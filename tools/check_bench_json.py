@@ -22,6 +22,10 @@ import sys
 
 NAME_RE = re.compile(r"^[a-z0-9_]+$")
 REQUIRED_KEYS = {"name": str, "n": int, "ns_per_op": (int, float), "items_per_sec": (int, float)}
+# Optional provenance fields newer writers add; rows from older writers
+# lack them, so they are validated only when present.
+TIMESTAMP_RE = re.compile(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z$")
+COMMIT_RE = re.compile(r"^[0-9A-Za-z_.-]{1,64}$")
 
 
 def fail(msg: str) -> None:
@@ -65,6 +69,12 @@ def main() -> None:
             v = float(row[key])
             if not math.isfinite(v) or v < 0:
                 fail(f"row {i} key {key!r} is not a finite non-negative number: {row!r}")
+        if "timestamp" in row:
+            if not isinstance(row["timestamp"], str) or not TIMESTAMP_RE.match(row["timestamp"]):
+                fail(f"row {i} timestamp is not ISO-8601 UTC (YYYY-MM-DDTHH:MM:SSZ): {row!r}")
+        if "commit" in row:
+            if not isinstance(row["commit"], str) or not COMMIT_RE.match(row["commit"]):
+                fail(f"row {i} commit is not an identifier-safe revision string: {row!r}")
 
     names = [row["name"] for row in data]
     for prefix in args.require:
