@@ -1,0 +1,258 @@
+/// POLY-SCALING — the polygon geometry engine on synthetic rectilinear
+/// combs swept from 1k to 100k vertices. Four kernels per row:
+///   * poly_decomp: rectDecompose into region normal form, checked
+///     against the shoelace area (piece areas must sum to it exactly),
+///   * poly_clip: clipToRect against a half-comb window, checked
+///     bit-for-bit against intersectRegions on the decomposition,
+///   * poly_offset: offsetOutward by 1 lambda, checked bit-for-bit
+///     against dilateRegion on the decomposition,
+///   * poly_query_indexed vs poly_query_brute: SegmentIndex probes vs a
+///     brute scan over all edges, compared exactly (values AND order).
+/// Every row where both engines run asserts exact equivalence, so the
+/// speedup is never bought with a wrong answer.
+///
+/// Env knobs: BB_BENCH_SMOKE=1 caps the sweep for CI (and skips the
+/// google-benchmark timings); BB_BENCH_FULL=1 extends the brute edge
+/// scan to the largest sizes.
+
+#include "bench_util.hpp"
+
+#include "geom/geometry.hpp"
+#include "geom/poly.hpp"
+#include "geom/segment_index.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+using namespace bb;
+
+namespace {
+
+using geom::Coord;
+using geom::lambda;
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+
+/// One rectilinear comb with ~n vertices: a 3L-thick spine with 2L-wide
+/// teeth of deterministically jittered height every 4L along the top.
+/// Each tooth contributes 4 vertices, so the ring both stresses the
+/// even-odd decomposition scan (every tooth is an event pair) and gives
+/// the segment index a long, spatially spread edge set.
+Polygon makeComb(std::size_t n) {
+  const std::size_t teeth = std::max<std::size_t>(n / 4, 1);
+  const Coord pitch = lambda(4);
+  const Coord toothW = lambda(2);
+  const Coord spineH = lambda(3);
+  std::uint64_t lcg = 0x9E3779B97F4A7C15ull;  // fixed seed: runs are reproducible
+  const auto jitter = [&lcg](Coord range) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<Coord>((lcg >> 33) % static_cast<std::uint64_t>(range));
+  };
+  Polygon p;
+  p.pts.reserve(4 * teeth + 4);
+  const Coord width = static_cast<Coord>(teeth) * pitch + toothW;
+  p.pts.push_back({0, 0});
+  p.pts.push_back({width, 0});
+  p.pts.push_back({width, spineH});
+  // Walk the top edge right-to-left, carving one tooth per pitch.
+  for (std::size_t t = teeth; t-- > 0;) {
+    const Coord x1 = static_cast<Coord>(t) * pitch + toothW;
+    const Coord x0 = static_cast<Coord>(t) * pitch;
+    const Coord h = spineH + lambda(2) + jitter(lambda(6));
+    p.pts.push_back({x1, spineH});
+    p.pts.push_back({x1, h});
+    p.pts.push_back({x0, h});
+    p.pts.push_back({x0, spineH});
+  }
+  p.pts.push_back({0, spineH});
+  return geom::poly::cleanPolygon(p);
+}
+
+/// Deterministic probe windows over the comb's bbox, sized around a few
+/// teeth so indexed queries return small candidate sets.
+std::vector<Rect> makeProbes(const Rect& bb, std::size_t count) {
+  std::vector<Rect> probes;
+  probes.reserve(count);
+  std::uint64_t lcg = 0xC0FFEE123456789ull;
+  const auto pick = [&lcg](Coord range) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<Coord>((lcg >> 33) % static_cast<std::uint64_t>(range));
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    const Coord x = bb.x0 + pick(std::max<Coord>(bb.width(), 1));
+    const Coord y = bb.y0 - lambda(1) + pick(std::max<Coord>(bb.height() + lambda(2), 1));
+    probes.emplace_back(x, y, x + lambda(6), y + lambda(4));
+  }
+  return probes;
+}
+
+template <typename F>
+double timeIt(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Normal-form regions are order-sensitive only via unionRects' sort;
+/// compare as sorted sets so stitch-then-decompose roundtrips compare
+/// bit-for-bit without depending on emission order.
+std::vector<Rect> sorted(std::vector<Rect> rs) {
+  std::sort(rs.begin(), rs.end(), [](const Rect& a, const Rect& b) {
+    if (a.x0 != b.x0) return a.x0 < b.x0;
+    if (a.y0 != b.y0) return a.y0 < b.y0;
+    if (a.x1 != b.x1) return a.x1 < b.x1;
+    return a.y1 < b.y1;
+  });
+  return rs;
+}
+
+bool sameRegion(const std::vector<Rect>& a, const std::vector<Rect>& b) {
+  const std::vector<Rect> sa = sorted(a), sb = sorted(b);
+  if (sa.size() != sb.size()) return false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].x0 != sb[i].x0 || sa[i].y0 != sb[i].y0 || sa[i].x1 != sb[i].x1 ||
+        sa[i].y1 != sb[i].y1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void printTable(bool smoke) {
+  const bool full = std::getenv("BB_BENCH_FULL") != nullptr;
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{1000, 5000}
+            : std::vector<std::size_t>{1000, 5000, 20000, 50000, 100000};
+  // The brute probe scan is O(probes x edges); cap it so the default run
+  // stays seconds, but keep 50k in so a speedup row is always measured.
+  const std::size_t bruteCap = full ? sizes.back() : 50000;
+  const std::size_t probeCount = 2000;
+
+  std::printf("== POLY-SCALING: polygon engine + segment index vs brute reference ==\n");
+  std::printf("%8s %10s %10s %10s %12s %12s %10s\n", "verts", "decomp_ms", "clip_ms",
+              "offset_ms", "q_brute_ms", "q_index_ms", "speedup");
+  for (const std::size_t n : sizes) {
+    const Polygon comb = makeComb(n);
+    const auto nv = static_cast<long long>(comb.pts.size());
+
+    // Decomposition: region normal form, area must match the shoelace.
+    std::vector<Rect> region;
+    const double decompS = timeIt([&] { region = geom::poly::rectDecompose(comb); });
+    bench::BenchJson::instance().recordRun("poly_decomp", nv, decompS);
+    Coord pieceArea = 0;
+    for (const Rect& r : region) pieceArea += r.area();
+    if (pieceArea != geom::polygonArea(comb)) {
+      std::fprintf(stderr, "FATAL: rectDecompose area diverged at n=%zu\n", n);
+      std::abort();
+    }
+
+    // Clip: left half of the comb, vs intersectRegions on the region.
+    const Rect bb = comb.bbox();
+    const Rect window{bb.x0 - lambda(1), bb.y0 - lambda(1),
+                      bb.x0 + bb.width() / 2, bb.y1 + lambda(1)};
+    geom::poly::PolySet clipped;
+    const double clipS = timeIt([&] { clipped = geom::poly::clipToRect(comb, window); });
+    bench::BenchJson::instance().recordRun("poly_clip", nv, clipS);
+    if (!sameRegion(geom::poly::regionOf(clipped),
+                    geom::poly::intersectRegions(region, {window}))) {
+      std::fprintf(stderr, "FATAL: clipToRect diverged from intersectRegions at n=%zu\n", n);
+      std::abort();
+    }
+
+    // Offset: outward by 1 lambda, vs dilateRegion on the region.
+    const geom::poly::PolySet combSet{comb};
+    geom::poly::PolySet grown;
+    const double offS =
+        timeIt([&] { grown = geom::poly::offsetOutward(combSet, lambda(1)); });
+    bench::BenchJson::instance().recordRun("poly_offset", nv, offS);
+    if (!sameRegion(geom::poly::regionOf(grown), geom::poly::dilateRegion(region, lambda(1)))) {
+      std::fprintf(stderr, "FATAL: offsetOutward diverged from dilateRegion at n=%zu\n", n);
+      std::abort();
+    }
+
+    // Probe queries: SegmentIndex vs brute edge scan, exact compare.
+    const std::vector<geom::Segment> edges = geom::edgesOf(comb);
+    const std::vector<Rect> probes = makeProbes(bb, probeCount);
+    geom::SegmentIndex idx(edges);
+    std::vector<std::vector<int>> idxHits(probes.size());
+    const double qIdxS = timeIt([&] {
+      for (std::size_t i = 0; i < probes.size(); ++i) idx.queryTouching(probes[i], idxHits[i]);
+    });
+    bench::BenchJson::instance().recordRun("poly_query_indexed", nv, qIdxS);
+    double qBruteS = -1;
+    if (n <= bruteCap) {
+      std::vector<std::vector<int>> bruteHits(probes.size());
+      qBruteS = timeIt([&] {
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+          for (std::size_t e = 0; e < edges.size(); ++e) {
+            if (geom::segmentTouchesRect(edges[e], probes[i])) {
+              bruteHits[i].push_back(static_cast<int>(e));
+            }
+          }
+        }
+      });
+      bench::BenchJson::instance().recordRun("poly_query_brute", nv, qBruteS);
+      if (bruteHits != idxHits) {
+        std::fprintf(stderr, "FATAL: SegmentIndex diverged from brute edge scan at n=%zu\n",
+                     n);
+        std::abort();
+      }
+    }
+
+    char bruteCol[16], speedCol[16];
+    if (qBruteS >= 0) {
+      std::snprintf(bruteCol, sizeof(bruteCol), "%.2f", qBruteS * 1e3);
+      std::snprintf(speedCol, sizeof(speedCol), "%.1fx",
+                    qBruteS / (qIdxS > 0 ? qIdxS : 1e-9));
+    } else {
+      std::snprintf(bruteCol, sizeof(bruteCol), "-");
+      std::snprintf(speedCol, sizeof(speedCol), "-");
+    }
+    std::printf("%8lld %10.2f %10.2f %10.2f %12s %12.2f %10s\n", nv, decompS * 1e3,
+                clipS * 1e3, offS * 1e3, bruteCol, qIdxS * 1e3, speedCol);
+  }
+  std::printf("(%zu probes per row; brute edge scan capped at %zu verts%s)\n\n", probeCount,
+              bruteCap, full ? "" : "; BB_BENCH_FULL=1 for the full curve");
+}
+
+void BM_PolyDecompose(benchmark::State& state) {
+  const Polygon comb = makeComb(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::poly::rectDecompose(comb));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(comb.pts.size()));
+}
+BENCHMARK(BM_PolyDecompose)->RangeMultiplier(4)->Range(1024, 65536)->Unit(benchmark::kMillisecond);
+
+void BM_SegIndexQuery(benchmark::State& state) {
+  const Polygon comb = makeComb(static_cast<std::size_t>(state.range(0)));
+  const geom::SegmentIndex idx(geom::edgesOf(comb));
+  const std::vector<Rect> probes = makeProbes(comb.bbox(), 256);
+  std::vector<int> hits;
+  for (auto _ : state) {
+    for (const Rect& q : probes) {
+      idx.queryTouching(q, hits);
+      benchmark::DoNotOptimize(hits.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SegIndexQuery)->RangeMultiplier(4)->Range(1024, 65536)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("BB_BENCH_SMOKE") != nullptr;
+  printTable(smoke);
+  if (!bench::BenchJson::instance().write()) {
+    std::fprintf(stderr, "FATAL: failed to land perf rows in BENCH.json (cause above)\n");
+    return 1;
+  }
+  if (smoke) return 0;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,10 +1,13 @@
 #include "drc/drc.hpp"
 
 #include "core/workqueue.hpp"
+#include "geom/poly.hpp"
+#include "geom/segment_index.hpp"
 #include "geom/sweep.hpp"
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <sstream>
 
 namespace bb::drc {
@@ -259,6 +262,279 @@ void runContactChecks(const cell::FlatLayout& flat, const tech::RuleDeck& deck,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Polygon rule units.
+//
+// Polygon geometry enters DRC as *regions*: each polygon becomes its
+// exact normal-form rect decomposition when rectilinear, or its bbox as
+// a documented conservative stand-in otherwise (extraction uses the
+// same convention). Every predicate below is exact integer arithmetic
+// over those pieces, and the indexed candidate discovery feeds the SAME
+// exact pair test as the brute scan, so both modes produce identical
+// violations in identical order.
+
+/// The region a polygon occupies for DRC/extraction purposes.
+std::vector<Rect> polygonRegion(const geom::Polygon& p) {
+  if (geom::poly::isRectilinear(p)) return geom::poly::rectDecompose(p);
+  return {p.bbox()};
+}
+
+/// One polygon feature on a layer: its region pieces and bbox, in
+/// `FlatLayout::polygons` order.
+struct PolyFeature {
+  std::vector<Rect> region;
+  Rect bbox;
+};
+
+std::vector<PolyFeature> polyFeaturesOn(const cell::FlatLayout& flat, Layer l) {
+  std::vector<PolyFeature> out;
+  for (const auto& [pl, p] : flat.polygons) {
+    if (pl != l) continue;
+    out.push_back({polygonRegion(p), p.bbox()});
+  }
+  return out;
+}
+
+/// Edge index over the layer's polygon features for spacing candidate
+/// discovery. Rectilinear features contribute their real edges;
+/// bbox-approximated features contribute their bbox's four sides (the
+/// probe must see the same outline the exact test uses, or the indexed
+/// mode could miss a pair the brute mode reports). `owner[s]` maps
+/// segment `s` back to its feature index.
+geom::SegmentIndex buildEdgeIndex(const cell::FlatLayout& flat, Layer l,
+                                  std::vector<int>& owner) {
+  std::vector<geom::Segment> segs;
+  int fi = 0;
+  for (const auto& [pl, p] : flat.polygons) {
+    if (pl != l) continue;
+    if (geom::poly::isRectilinear(p)) {
+      for (const geom::Segment& s : geom::edgesOf(p)) {
+        segs.push_back(s);
+        owner.push_back(fi);
+      }
+    } else {
+      const Rect b = p.bbox();
+      const geom::Point c00{b.x0, b.y0}, c10{b.x1, b.y0}, c11{b.x1, b.y1}, c01{b.x0, b.y1};
+      for (const geom::Segment& s :
+           {geom::Segment{c00, c10}, geom::Segment{c10, c11}, geom::Segment{c11, c01},
+            geom::Segment{c01, c00}}) {
+        segs.push_back(s);
+        owner.push_back(fi);
+      }
+    }
+    ++fi;
+  }
+  return geom::SegmentIndex(std::move(segs));
+}
+
+/// Width check over polygon material: morphological opening in doubled
+/// coordinates. Scaling by 2 makes the radius `min - 1` representable
+/// for every parity, and then an opening with that radius removes
+/// exactly the material thinner than `min` (a strip of doubled width 2w
+/// dies under erosion by d iff 2w <= 2d, i.e. w <= min-1) while
+/// material at least `min` wide survives untouched. The residue
+/// `region \ opening` IS the violation geometry; pieces not touching
+/// any polygon material are dropped (slivers between plain rects are
+/// the classic width rule's jurisdiction). No spatial-index branch:
+/// the unit is exact and identical in both modes by construction.
+void runPolyWidthRule(const tech::WidthRule& wr, const cell::FlatLayout& flat,
+                      const DrcOptions& opts, std::vector<Violation>& out) {
+  (void)opts;
+  if (wr.min <= 1) return;  // every positive-area piece is >= 1 wide
+  const auto x2 = [](const Rect& r) {
+    return Rect{2 * r.x0, 2 * r.y0, 2 * r.x1, 2 * r.y1};
+  };
+  std::vector<Rect> polyMat;  // doubled polygon pieces on the layer
+  for (const auto& [pl, p] : flat.polygons) {
+    if (pl != wr.layer) continue;
+    for (const Rect& r : polygonRegion(p)) polyMat.push_back(x2(r));
+  }
+  if (polyMat.empty()) return;  // polygon-free layer: classic rule covers it
+
+  std::vector<Rect> mat = polyMat;
+  for (const Rect& r : flat.on(wr.layer)) mat.push_back(x2(r));
+  const std::vector<Rect> region = geom::sweep::unionRects(std::move(mat));
+  const Coord d = wr.min - 1;  // doubled-coordinate opening radius
+  const std::vector<Rect> opened =
+      geom::poly::dilateRegion(geom::poly::erodeRegion(region, d), d);
+  for (const Rect& t : geom::poly::subtractRegions(region, opened)) {
+    bool nearPoly = false;
+    for (const Rect& pm : polyMat) {
+      if (t.touches(pm)) {
+        nearPoly = true;
+        break;
+      }
+    }
+    if (!nearPoly) continue;
+    // Region and opening boundaries both live on even coordinates, so
+    // halving is exact (floorHalf only guards the impossible odd case).
+    const Rect where{geom::floorHalf(t.x0), geom::floorHalf(t.y0), geom::floorHalf(t.x1),
+                     geom::floorHalf(t.y1)};
+    const Coord w = std::min(where.width(), where.height());
+    out.push_back({wr.name, wr.layer, wr.layer, where,
+                   "polygon material " + std::to_string(w) + " < min width " +
+                       std::to_string(wr.min)});
+  }
+}
+
+/// Spacing check involving polygon features: polygon-vs-polygon,
+/// polygon-vs-rect, and (for cross-layer rules) rect-vs-polygon pairs.
+/// The exact pair test is an offset-and-intersect probe: a violation
+/// exists iff some piece of A, dilated by `min - 1`, touches a piece of
+/// B — exactly Chebyshev gap <= min-1 < min, the metric the rect rule
+/// uses. Candidates come from the `SegmentIndex` over B's edges (or the
+/// per-layer `RectIndex` for rect partners); the brute path scans all
+/// partners. Both paths run the identical exact test over ascending
+/// partner order, so the violations are bit-identical.
+void runPolySpacingRule(const tech::SpacingRule& sr, const cell::FlatLayout& flat,
+                        const geom::Rect& boundary, const DrcOptions& opts,
+                        std::vector<Violation>& out) {
+  if (sr.min <= 0) return;
+  const Coord m = sr.min - 1;
+  const bool same = sr.a == sr.b;
+  const std::vector<PolyFeature> fa = polyFeaturesOn(flat, sr.a);
+  const std::vector<PolyFeature> fbStore =
+      same ? std::vector<PolyFeature>{} : polyFeaturesOn(flat, sr.b);
+  const std::vector<PolyFeature>& fb = same ? fa : fbStore;
+  if (fa.empty() && fb.empty()) return;  // polygon-free: classic rule covers it
+
+  const auto regionsTouch = [](const std::vector<Rect>& x, const std::vector<Rect>& y) {
+    for (const Rect& rx : x) {
+      for (const Rect& ry : y) {
+        if (rx.touches(ry)) return true;
+      }
+    }
+    return false;
+  };
+  const auto dilatedTouches = [m](const std::vector<Rect>& x, const std::vector<Rect>& y) {
+    for (const Rect& rx : x) {
+      const Rect e = rx.expandedXY(m, m);
+      for (const Rect& ry : y) {
+        if (e.touches(ry)) return true;
+      }
+    }
+    return false;
+  };
+  const auto anyTouchesBoundary = [&boundary](const std::vector<Rect>& x) {
+    for (const Rect& r : x) {
+      if (touchesBoundary(r, boundary)) return true;
+    }
+    return false;
+  };
+  // Same-layer bridging: a third piece of material on the layer touching
+  // both features makes them one feature. Resolved by the same brute
+  // scan in both modes (bridge resolution is not candidate discovery —
+  // it must see ALL material, and it only runs on near-violations).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  const auto bridged = [&](const std::vector<Rect>& ra, const std::vector<Rect>& rb,
+                           std::size_t skipA, std::size_t skipB, const Rect* skipRect) {
+    for (const Rect& o : flat.on(sr.a)) {
+      if (skipRect != nullptr && o == *skipRect) continue;
+      bool ta = false, tb = false;
+      for (const Rect& rx : ra) {
+        if (o.touches(rx)) {
+          ta = true;
+          break;
+        }
+      }
+      if (!ta) continue;
+      for (const Rect& ry : rb) {
+        if (o.touches(ry)) {
+          tb = true;
+          break;
+        }
+      }
+      if (tb) return true;
+    }
+    for (std::size_t k = 0; k < fa.size(); ++k) {
+      if (k == skipA || k == skipB) continue;
+      if (regionsTouch(fa[k].region, ra) && regionsTouch(fa[k].region, rb)) return true;
+    }
+    return false;
+  };
+  const auto checkPair = [&](const std::vector<Rect>& ra, const std::vector<Rect>& rb,
+                             std::size_t skipA, std::size_t skipB, const Rect* skipRect) {
+    if (regionsTouch(ra, rb)) return;  // same feature / intentional crossing
+    if (!dilatedTouches(ra, rb)) return;  // gap >= sr.min
+    if (same && bridged(ra, rb, skipA, skipB, skipRect)) return;
+    if (opts.boundaryConditions && anyTouchesBoundary(ra) && anyTouchesBoundary(rb)) {
+      return;  // interface wiring; contract guarantees the far side
+    }
+    // Report the closest piece pair (first minimum wins: deterministic).
+    Coord gap = -1;
+    Rect where{};
+    for (const Rect& rx : ra) {
+      for (const Rect& ry : rb) {
+        const Coord g = gapBetween(rx, ry);
+        if (gap < 0 || g < gap) {
+          gap = g;
+          where = rx.unionWith(ry);
+        }
+      }
+    }
+    out.push_back({sr.name, sr.a, sr.b, where,
+                   "polygon gap " + std::to_string(gap) + " < " + std::to_string(sr.min)});
+  };
+
+  std::vector<int> edgeOwner;
+  std::optional<geom::SegmentIndex> idxB;
+  if (opts.useSpatialIndex && !fb.empty()) idxB.emplace(buildEdgeIndex(flat, sr.b, edgeOwner));
+  std::vector<int> segCand;
+  std::vector<std::size_t> cand;
+  const auto polyCandidates = [&](const Rect& q) -> const std::vector<std::size_t>& {
+    cand.clear();
+    if (idxB) {
+      idxB->queryWithin(q, m, segCand);
+      for (const int s : segCand) {
+        cand.push_back(static_cast<std::size_t>(edgeOwner[static_cast<std::size_t>(s)]));
+      }
+      std::sort(cand.begin(), cand.end());
+      cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    } else {
+      for (std::size_t j = 0; j < fb.size(); ++j) cand.push_back(j);
+    }
+    return cand;
+  };
+
+  // 1. polygon(a) vs polygon(b), ascending (i, j); same-layer pairs once.
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    for (const std::size_t j : polyCandidates(fa[i].bbox)) {
+      if (same && j <= i) continue;
+      checkPair(fa[i].region, fb[j].region, i, j, nullptr);
+    }
+  }
+
+  // 2. polygon(a) vs plain rect(b), ascending (i, rect j).
+  const auto& rbs = flat.on(sr.b);
+  const RectIndex* ridxB = opts.useSpatialIndex ? &flat.indexOn(sr.b) : nullptr;
+  std::vector<int> rcand;
+  std::vector<Rect> one(1);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const auto checkRect = [&](std::size_t j) {
+      one[0] = rbs[j];
+      checkPair(fa[i].region, one, i, kNone, &rbs[j]);
+    };
+    if (ridxB != nullptr) {
+      ridxB->queryWithin(fa[i].bbox, m, rcand);
+      for (const int j : rcand) checkRect(static_cast<std::size_t>(j));
+    } else {
+      for (std::size_t j = 0; j < rbs.size(); ++j) checkRect(j);
+    }
+  }
+
+  // 3. plain rect(a) vs polygon(b), cross-layer only (the same-layer
+  // case is pass 2 with roles swapped — pairing it again would dup).
+  if (!same) {
+    const auto& ras = flat.on(sr.a);
+    for (std::size_t i = 0; i < ras.size(); ++i) {
+      one[0] = ras[i];
+      for (const std::size_t j : polyCandidates(ras[i])) {
+        checkPair(one, fb[j].region, kNone, j, nullptr);
+      }
+    }
+  }
+}
+
 /// World-space rects of one hier source (a placement, or the residual
 /// when `src == placements().size()`) on layer `l` touching `win`, in
 /// ascending local-index order (deterministic).
@@ -348,7 +624,7 @@ DeckChecker::DeckChecker(const tech::RuleDeck& deck, DrcOptions opts)
   // independent unit per width rule and per spacing rule, plus the
   // transistor and contact groups. A batch of jobs compiling under the
   // same deck pays this setup once instead of per chip.
-  units_.reserve(deck.widths.size() + deck.spacings.size() + 2);
+  units_.reserve(2 * (deck.widths.size() + deck.spacings.size()) + 2);
   for (std::size_t i = 0; i < deck.widths.size(); ++i) {
     units_.push_back({Unit::Kind::Width, i});
   }
@@ -357,6 +633,15 @@ DeckChecker::DeckChecker(const tech::RuleDeck& deck, DrcOptions opts)
   }
   if (opts_.checkTransistors) units_.push_back({Unit::Kind::Transistors, 0});
   if (opts_.checkContacts) units_.push_back({Unit::Kind::Contacts, 0});
+  // Polygon extensions ride AFTER the classic plan: chips without
+  // polygon geometry keep their violation order byte-for-byte (each
+  // polygon unit early-returns on a polygon-free layer).
+  for (std::size_t i = 0; i < deck.widths.size(); ++i) {
+    units_.push_back({Unit::Kind::PolyWidth, i});
+  }
+  for (std::size_t i = 0; i < deck.spacings.size(); ++i) {
+    units_.push_back({Unit::Kind::PolySpacing, i});
+  }
 }
 
 DrcReport DeckChecker::check(const cell::FlatLayout& flat, const geom::Rect& boundary) const {
@@ -384,6 +669,12 @@ DrcReport DeckChecker::check(const cell::FlatLayout& flat, const geom::Rect& bou
         break;
       case Unit::Kind::Contacts:
         runContactChecks(flat, *deck_, opts_, out);
+        break;
+      case Unit::Kind::PolyWidth:
+        runPolyWidthRule(deck_->widths[u.index], flat, opts_, out);
+        break;
+      case Unit::Kind::PolySpacing:
+        runPolySpacingRule(deck_->spacings[u.index], flat, boundary, opts_, out);
         break;
     }
   };

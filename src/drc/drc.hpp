@@ -111,8 +111,14 @@ class DeckChecker {
 
  private:
   /// One independent, concurrently-runnable rule unit of the plan.
+  /// PolyWidth/PolySpacing extend each width/spacing rule to polygon
+  /// geometry (`FlatLayout::polygons`); they ride after the classic
+  /// units and early-return on polygon-free layers, so chips without
+  /// polygons keep their violation order byte-for-byte.
   struct Unit {
-    enum class Kind : std::uint8_t { Width, Spacing, Transistors, Contacts };
+    enum class Kind : std::uint8_t {
+      Width, Spacing, Transistors, Contacts, PolyWidth, PolySpacing
+    };
     Kind kind;
     std::size_t index = 0;  ///< rule index within its deck family
   };

@@ -1,5 +1,6 @@
 #include "extract/extract.hpp"
 
+#include "geom/poly.hpp"
 #include "geom/rect_index.hpp"
 
 #include <algorithm>
@@ -46,6 +47,24 @@ struct Piece {
   Layer layer;
   Rect r;
 };
+
+/// Conductor-layer slot (Diffusion/Poly/Metal -> 0/1/2), -1 otherwise.
+int condSlot(Layer l) noexcept {
+  switch (l) {
+    case Layer::Diffusion: return 0;
+    case Layer::Poly: return 1;
+    case Layer::Metal: return 2;
+    default: return -1;
+  }
+}
+
+/// The region a polygon occupies for connectivity: its exact rect
+/// decomposition when rectilinear, its bbox as a documented conservative
+/// stand-in otherwise (the DRC polygon units use the same convention).
+std::vector<Rect> polygonRegion(const geom::Polygon& p) {
+  if (geom::poly::isRectilinear(p)) return geom::poly::rectDecompose(p);
+  return {p.bbox()};
+}
 
 /// Candidate source abstracting indexed vs reference iteration: visits
 /// the indices of every rect in `rects` touching `q`, ascending — the
@@ -247,6 +266,16 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
   }
   for (const Rect& p : flat.on(Layer::Poly)) pieces.push_back({Layer::Poly, p});
   for (const Rect& m : flat.on(Layer::Metal)) pieces.push_back({Layer::Metal, m});
+  // Polygon geometry on conductor layers joins connectivity as region
+  // pieces appended after the rects (stable piece order keeps net ids
+  // deterministic). Polygons are pure interconnect here: a polygon-drawn
+  // poly shape over diffusion does NOT form a gate, and polygon-drawn
+  // diffusion is not fractured at gates — drawing transistors with P
+  // commands is out of this extractor's scope.
+  for (const auto& [pl, poly] : flat.polygons) {
+    if (condSlot(pl) < 0) continue;
+    for (const Rect& frag : polygonRegion(poly)) pieces.push_back({pl, frag});
+  }
 
   // --- 3. connectivity ----------------------------------------------------
   std::vector<Rect> pieceRects;
@@ -411,16 +440,6 @@ ExtractResult extractFlat(const cell::FlatLayout& flat, const std::vector<NetLab
 
 namespace {
 
-/// Conductor-layer slot (Diffusion/Poly/Metal -> 0/1/2), -1 otherwise.
-int condSlot(Layer l) noexcept {
-  switch (l) {
-    case Layer::Diffusion: return 0;
-    case Layer::Poly: return 1;
-    case Layer::Metal: return 2;
-    default: return -1;
-  }
-}
-
 /// One stitching source: a unique cell's (or the residual's) local
 /// extraction plus per-conductor-layer piece indexes and a local-net ->
 /// representative-piece table. Shared by every placement of the unit.
@@ -534,9 +553,41 @@ ExtractResult extractHier(const cell::HierIndex& hier, const std::vector<NetLabe
   }
   std::sort(pairs.begin(), pairs.end());
 
+  // Stitch pruning: every union the pair walk can perform needs geometry
+  // in the shared window. An abutment join unites pieces that share a
+  // point, and that point lies in both sources' bboxes — i.e. in the
+  // window — so BOTH pieces touch it; a via join only fires for vias
+  // touching the window. A pair with no conductor slot populated by
+  // both sources inside the window and no via of either source reaching
+  // it is therefore provably a no-op and skipped outright (the common
+  // case in dense tilings where cells abut along blank seams).
+  const auto anyPieceTouching = [&](std::size_t s, int k, const Rect& wr) {
+    const StitchSrc& x = srcX(s);
+    const Rect lw = s < P ? srcT(s).inverted()(wr) : wr;
+    std::vector<int> cand;
+    x.layerIdx[static_cast<std::size_t>(k)].queryTouching(lw, cand);
+    return !cand.empty();
+  };
+  const auto anyViaTouching = [&](std::size_t s, Layer vl, const Rect& wr) {
+    const cell::FlatLayout& fl = s < P ? us[ps[s].unit].flat : hier.residual();
+    const Rect lw = s < P ? srcT(s).inverted()(wr) : wr;
+    std::vector<int> cand;
+    fl.indexOn(vl).queryTouching(lw, cand);
+    return !cand.empty();
+  };
+
   for (const auto& [a, b] : pairs) {
     const auto w = closedIntersect(srcBBox(a), srcBBox(b));
     if (!w) continue;
+    bool seam = false;
+    for (int k = 0; k < 3 && !seam; ++k) {
+      seam = anyPieceTouching(a, k, *w) && anyPieceTouching(b, k, *w);
+    }
+    if (!seam) {
+      seam = anyViaTouching(a, Layer::Contact, *w) || anyViaTouching(b, Layer::Contact, *w) ||
+             anyViaTouching(a, Layer::Buried, *w) || anyViaTouching(b, Layer::Buried, *w);
+    }
+    if (!seam) continue;
 
     // Same-layer abutment: a's pieces in the window vs b's touching them.
     for (int k = 0; k < 3; ++k) {

@@ -1,0 +1,144 @@
+/// \file poly.hpp
+/// Polygon-first geometry engine: exact integer boolean operations
+/// (intersect / union / difference of polygon sets against rects and
+/// each other), inward/outward offsetting, and bounded-error polyline
+/// simplification.
+///
+/// The engine works on two interchangeable forms:
+///
+///  - `Polygon` / `PolySet`: vertex rings, the import/emission form
+///    (CIF `P`, GDS BOUNDARY, SVG `<polygon>`).
+///  - a *region*: pairwise-disjoint axis-aligned rects in
+///    `sweep::unionRects` normal form — the analysis form every other
+///    kernel in the repo already speaks (DRC probes, extraction pieces,
+///    `RectIndex` buckets).
+///
+/// `rectDecompose` scans a rectilinear ring into a region (even-odd,
+/// y-sorted horizontal-edge events); `regionToPolygons` stitches a
+/// region's boundary back into rings (outer rings counter-clockwise,
+/// holes clockwise). Booleans and offsets are computed on regions, so
+/// every result is exact on the integer grid — no epsilons, no floats,
+/// bit-identical across brute and indexed callers. The only
+/// approximating path is `clipToRect` on a *non-rectilinear* polygon,
+/// which falls back to Sutherland–Hodgman with floor-rounded edge
+/// intersections (deterministic, documented; rectilinear input — the
+/// overwhelming CIF case — stays exact).
+///
+/// Modeled on CuraEngine's polygon/polygonUtils boolean+offset API and
+/// Simplify's area-bounded vertex removal, re-grounded on this repo's
+/// exact-integer sweep machinery instead of ClipperLib.
+
+#pragma once
+
+#include "geom/geometry.hpp"
+
+#include <vector>
+
+namespace bb::geom {
+
+/// Shoelace double area, signed: positive for counter-clockwise rings.
+/// (Free-function twin of `Polygon::signedDoubleArea` so call sites that
+/// only have a vertex ring in hand read as geometry, not method soup.)
+[[nodiscard]] Coord polygonDoubleArea(const Polygon& p) noexcept;
+
+/// Absolute enclosed area (double area / 2, exact for even double
+/// areas; rectilinear rings always have even double area).
+[[nodiscard]] Coord polygonArea(const Polygon& p) noexcept;
+
+/// Ring orientation: true when the vertices wind counter-clockwise
+/// (positive signed area). Degenerate (zero-area) rings are neither;
+/// this returns false for them.
+[[nodiscard]] bool isCounterClockwise(const Polygon& p) noexcept;
+
+namespace poly {
+
+/// A set of polygons. Rings emitted by `regionToPolygons` are
+/// counter-clockwise for outer boundaries and clockwise for holes.
+using PolySet = std::vector<Polygon>;
+
+/// Collapse exact-duplicate and collinear vertices. The result traverses
+/// the same boundary with the minimal vertex count; a ring that
+/// degenerates (all vertices collinear) comes back with fewer than three
+/// vertices, which callers should treat as "no area".
+[[nodiscard]] Polygon cleanPolygon(const Polygon& p);
+
+/// True when any two non-adjacent edges of the ring share a point, or
+/// adjacent edges overlap beyond their shared endpoint — i.e. the ring
+/// is not simple. Exact integer orientation tests; O(n^2), intended for
+/// import-time validation, not hot loops.
+[[nodiscard]] bool selfIntersects(const Polygon& p);
+
+/// True when every edge (including the closing edge) is axis-parallel.
+[[nodiscard]] bool isRectilinear(const Polygon& p) noexcept;
+
+/// Decompose a rectilinear ring into its region: disjoint rects in
+/// `sweep::unionRects` normal form covering exactly the even-odd
+/// interior. Degenerate rings decompose to an empty region.
+/// Precondition: `isRectilinear(p)` (checked; non-rectilinear input
+/// returns the empty region so callers gate explicitly).
+[[nodiscard]] std::vector<Rect> rectDecompose(const Polygon& p);
+
+/// Union of the decompositions of every rectilinear polygon in `ps`
+/// (even-odd per ring, union across rings), in normal form.
+[[nodiscard]] std::vector<Rect> regionOf(const PolySet& ps);
+
+/// Stitch a region's boundary back into vertex rings: outer boundaries
+/// counter-clockwise, holes clockwise, collinear vertices merged.
+/// Components that touch only at a point come back as separate simple
+/// rings (the walk takes the leftmost turn at crossing vertices).
+/// `region` must be pairwise-disjoint (any `unionRects` output is).
+[[nodiscard]] PolySet regionToPolygons(const std::vector<Rect>& region);
+
+/// Region booleans. Inputs and outputs are disjoint-rect regions in
+/// normal form; all three are exact.
+[[nodiscard]] std::vector<Rect> unionRegions(const std::vector<Rect>& a,
+                                             const std::vector<Rect>& b);
+[[nodiscard]] std::vector<Rect> intersectRegions(const std::vector<Rect>& a,
+                                                 const std::vector<Rect>& b);
+[[nodiscard]] std::vector<Rect> subtractRegions(const std::vector<Rect>& a,
+                                                const std::vector<Rect>& b);
+
+/// Polygon-set booleans over rectilinear sets: decompose, operate on
+/// regions, stitch back. Holes in the result appear as clockwise rings.
+[[nodiscard]] PolySet unite(const PolySet& a, const PolySet& b);
+[[nodiscard]] PolySet intersect(const PolySet& a, const PolySet& b);
+[[nodiscard]] PolySet subtract(const PolySet& a, const PolySet& b);
+
+/// Clip one polygon to a rect window. Fast paths: a window containing
+/// the polygon's bbox returns the polygon verbatim (same vertex objects
+/// — full-chip emission stays byte-identical to the unclipped walk);
+/// a window its bbox does not overlap returns the empty set. Otherwise
+/// rectilinear polygons clip exactly (decompose → clip → stitch; the
+/// result can be several disjoint rings, never a hole), and
+/// non-rectilinear polygons fall back to Sutherland–Hodgman with
+/// floor-rounded intersections. Zero-area contact (window edge or
+/// corner grazing the polygon) clips to nothing.
+[[nodiscard]] PolySet clipToRect(const Polygon& p, const Rect& window);
+
+/// Minkowski dilation of a region by the Chebyshev square of radius
+/// `d` >= 0: every rect grows by `d` on all four sides, then the union
+/// is renormalized. Exact.
+[[nodiscard]] std::vector<Rect> dilateRegion(const std::vector<Rect>& region, Coord d);
+
+/// Morphological erosion by the same square: the set of points whose
+/// `d`-neighborhood lies inside the region. Computed as the frame
+/// complement trick `P \ dilate(frame \ P, d)`, so it is exact too.
+[[nodiscard]] std::vector<Rect> erodeRegion(const std::vector<Rect>& region, Coord d);
+
+/// Offset a rectilinear polygon set outward (dilate) or inward (erode)
+/// by `d`, returning stitched rings. Outward offsets can close narrow
+/// mouths (a hole then appears as a clockwise ring); inward offsets can
+/// split one ring into several or erase it entirely.
+[[nodiscard]] PolySet offsetOutward(const PolySet& ps, Coord d);
+[[nodiscard]] PolySet offsetInward(const PolySet& ps, Coord d);
+
+/// Simplify a ring by repeatedly removing the vertex whose removal
+/// changes the enclosed area the least, while the *accumulated* double
+/// area error stays within `maxDoubleAreaError` and at least three
+/// vertices remain. Runs `cleanPolygon` first, so zero-cost vertices
+/// (duplicates, collinear) always go. The bound is on area only — the
+/// result is not guaranteed simple for pathological inputs.
+[[nodiscard]] Polygon simplify(const Polygon& p, Coord maxDoubleAreaError);
+
+}  // namespace poly
+}  // namespace bb::geom

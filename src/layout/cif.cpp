@@ -125,8 +125,9 @@ std::string writeCif(const View& v, const CifOptions& opts) {
         os << "B " << r.width() << ' ' << r.height() << ' ' << r.center().x << ' '
            << r.center().y << ";\n";
       }
-      // This tile's polygons, each emitted from exactly one owner tile.
-      for (const auto& [pl, p] : v.polygonsOwnedBy(tx, ty)) {
+      // This tile's polygon pieces (window-clipped under the default
+      // clipPolygons policy), each emitted from exactly one owner tile.
+      for (const auto& [pl, p] : v.windowPolygonsOwnedBy(tx, ty)) {
         if (pl != l) continue;
         needLayer();
         os << "P";

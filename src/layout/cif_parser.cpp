@@ -1,5 +1,7 @@
 #include "layout/cif_parser.hpp"
 
+#include "geom/poly.hpp"
+
 #include <cctype>
 #include <map>
 #include <optional>
@@ -236,7 +238,18 @@ CifParseResult parseCif(std::string_view text, cell::CellLibrary& lib) {
         p.pts.push_back({*x, *y});
       }
       if (ensureCurrent() == nullptr) return fail("P outside DS");
-      current->addPolygon(layer, std::move(p));
+      // Import validation: collapse duplicate/collinear vertices, then
+      // reject rings that have no area or cross themselves — downstream
+      // clipping, DRC and extraction all assume simple rings. These are
+      // diagnostics on the input deck, not assertions.
+      geom::Polygon cleaned = geom::poly::cleanPolygon(p);
+      if (cleaned.pts.size() < 3) {
+        return fail("degenerate P polygon (no enclosed area)");
+      }
+      if (geom::poly::selfIntersects(cleaned)) {
+        return fail("self-intersecting P polygon");
+      }
+      current->addPolygon(layer, std::move(cleaned));
       sc.finishCommand();
       continue;
     }

@@ -1,5 +1,7 @@
 #include "layout/gds.hpp"
 
+#include "geom/poly.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -170,6 +172,54 @@ void emitOrient(Emitter& e, geom::Orientation o) {
   }
 }
 
+/// GDSII caps an XY record at 8191 coordinate pairs (the 16-bit record
+/// length counts bytes: (65535 - 4) / 8). A boundary repeats its first
+/// point, so rings above 8190 vertices cannot be emitted in one record.
+constexpr std::size_t kMaxXyPoints = 8191;
+
+/// Emit one polygon as BOUNDARY record(s): directly when it fits, and
+/// split by recursive bbox bisection (`geom::poly::clipToRect` halves)
+/// when it would overflow the XY record — the writer never emits a
+/// record whose length field wraps.
+void emitPolyBoundary(Emitter& e, std::int16_t layer, const geom::Polygon& p) {
+  if (p.pts.empty()) return;
+  if (p.pts.size() + 1 > kMaxXyPoints) {
+    const geom::Rect bb = p.bbox();
+    const bool splitX = bb.width() >= bb.height();
+    const geom::Coord mid = splitX ? geom::floorHalf(bb.x0 + bb.x1) : geom::floorHalf(bb.y0 + bb.y1);
+    const geom::Rect lo = splitX ? geom::Rect{bb.x0, bb.y0, mid, bb.y1}
+                                 : geom::Rect{bb.x0, bb.y0, bb.x1, mid};
+    const geom::Rect hi = splitX ? geom::Rect{mid, bb.y0, bb.x1, bb.y1}
+                                 : geom::Rect{bb.x0, mid, bb.x1, bb.y1};
+    if (!lo.isEmpty() && !hi.isEmpty()) {
+      for (const geom::Polygon& piece : geom::poly::clipToRect(p, lo)) {
+        emitPolyBoundary(e, layer, piece);
+      }
+      for (const geom::Polygon& piece : geom::poly::clipToRect(p, hi)) {
+        emitPolyBoundary(e, layer, piece);
+      }
+      return;
+    }
+    // Degenerate bbox (nothing to bisect): fall through and emit as-is
+    // rather than recurse forever; such rings cannot occur from real
+    // artwork.
+  }
+  e.none(kBoundary);
+  e.i16(kLayer, {layer});
+  e.i16(kDatatype, {0});
+  std::vector<std::int32_t> xy;
+  xy.reserve(2 * (p.pts.size() + 1));
+  for (geom::Point q : p.pts) {
+    xy.push_back(static_cast<std::int32_t>(q.x));
+    xy.push_back(static_cast<std::int32_t>(q.y));
+  }
+  // GDS boundaries repeat the first point.
+  xy.push_back(static_cast<std::int32_t>(p.pts[0].x));
+  xy.push_back(static_cast<std::int32_t>(p.pts[0].y));
+  e.i32(kXy, xy);
+  e.none(kEndEl);
+}
+
 /// Emit one cell's own shapes (boundaries for rects/polygons, PATH for
 /// paths) — shared by the flat-order and AREF-compressing writers.
 void emitShapes(Emitter& e, const Cell& c) {
@@ -185,21 +235,7 @@ void emitShapes(Emitter& e, const Cell& c) {
             e.i32(kXy, rectXy(g));
             e.none(kEndEl);
           } else if constexpr (std::is_same_v<T, geom::Polygon>) {
-            e.none(kBoundary);
-            e.i16(kLayer, {static_cast<std::int16_t>(layer)});
-            e.i16(kDatatype, {0});
-            std::vector<std::int32_t> xy;
-            for (geom::Point p : g.pts) {
-              xy.push_back(static_cast<std::int32_t>(p.x));
-              xy.push_back(static_cast<std::int32_t>(p.y));
-            }
-            // GDS boundaries repeat the first point.
-            if (!g.pts.empty()) {
-              xy.push_back(static_cast<std::int32_t>(g.pts[0].x));
-              xy.push_back(static_cast<std::int32_t>(g.pts[0].y));
-            }
-            e.i32(kXy, xy);
-            e.none(kEndEl);
+            emitPolyBoundary(e, static_cast<std::int16_t>(layer), g);
           } else {
             e.none(kPath);
             e.i16(kLayer, {static_cast<std::int16_t>(layer)});
@@ -382,23 +418,11 @@ std::vector<std::uint8_t> writeGds(const View& v, const GdsOptions& opts) {
         e.i32(kXy, rectXy(r));
         e.none(kEndEl);
       }
-      // This tile's polygons, each emitted from exactly one owner tile.
-      for (const auto& [pl, p] : v.polygonsOwnedBy(tx, ty)) {
+      // This tile's polygon pieces (window-clipped under the default
+      // clipPolygons policy), each emitted from exactly one owner tile.
+      for (const auto& [pl, p] : v.windowPolygonsOwnedBy(tx, ty)) {
         if (pl != l) continue;
-        e.none(kBoundary);
-        e.i16(kLayer, {layer});
-        e.i16(kDatatype, {0});
-        std::vector<std::int32_t> xy;
-        for (geom::Point q : p->pts) {
-          xy.push_back(static_cast<std::int32_t>(q.x));
-          xy.push_back(static_cast<std::int32_t>(q.y));
-        }
-        if (!p->pts.empty()) {
-          xy.push_back(static_cast<std::int32_t>(p->pts[0].x));
-          xy.push_back(static_cast<std::int32_t>(p->pts[0].y));
-        }
-        e.i32(kXy, xy);
-        e.none(kEndEl);
+        emitPolyBoundary(e, layer, *p);
       }
     });
   }

@@ -59,9 +59,11 @@ void emitFlat(std::ostringstream& os, const Mapper& m, const View& view, double 
       for (const geom::Rect& r : rs) emitRect(os, m, r, l, opacity);
     });
   }
-  for (const auto& [l, p] : view.polygons()) {
+  // Polygon pieces under the View's clipping policy (window-crossing
+  // rings clipped, fully-inside rings verbatim).
+  for (const auto& [l, p] : view.windowPolygons()) {
     os << "<polygon points=\"";
-    for (geom::Point q : p->pts) os << m.x(q.x) << ',' << m.y(q.y) << ' ';
+    for (geom::Point q : p.pts) os << m.x(q.x) << ',' << m.y(q.y) << ' ';
     os << "\" fill=\"" << tech::displayColor(l) << "\" fill-opacity=\"" << opacity << "\"/>\n";
   }
 }

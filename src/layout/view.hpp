@@ -26,13 +26,19 @@
 ///    area exactly (the equivalence tests assert this via
 ///    `sweep::unionArea`). Merged output is clipped to the window.
 ///
-/// Polygons (which only CIF import produces today) are not spatially
-/// indexed; the View filters them by bounding box against the window and
-/// emits survivors whole, so windowed emission never silently drops a
-/// polygon that reaches into the viewport. Tiled writers assign each
-/// surviving polygon to exactly one owner tile (`polygonsOwnedBy`, the
-/// same window-clamped lower-left rule the rects use), so a
-/// boundary-spanning polygon is never re-emitted per touching tile.
+/// Polygons (which only CIF import produces today) stream through the
+/// `geom::poly` clipping engine: with the default `clipPolygons`, a
+/// polygon crossing the window boundary is clipped to the window
+/// (`geom::poly::clipToRect`) and its pieces emitted instead of the
+/// whole ring, while a polygon fully inside the window passes through
+/// verbatim — so full-chip emission stays byte-identical to the raw
+/// walk. With `clipPolygons` off, the pre-clip reference behavior:
+/// bbox-filter against the window and emit survivors whole
+/// (conservative over-emission rather than silent loss). Either way,
+/// tiled writers assign each emitted piece to exactly one owner tile
+/// (`windowPolygonsOwnedBy`, the same window-clamped lower-left rule
+/// the rects use), so a boundary-spanning piece is never re-emitted
+/// per touching tile.
 ///
 /// A View can also be opened over a `cell::HierIndex` instead of a full
 /// flatten: the constructor resolves ONLY the placements whose bounding
@@ -51,6 +57,7 @@
 #include <memory>
 
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -68,6 +75,10 @@ struct ViewOptions {
   /// Merge each tile's rects into disjoint maximal pieces
   /// (`sweep::unionRects`), clipped to the tile. Off: original rects.
   bool merge = false;
+  /// Clip window-crossing polygons to the window (`geom::poly::clipToRect`)
+  /// and emit the pieces; fully-inside polygons pass through verbatim.
+  /// Off: the pre-clip reference behavior — bbox filter, emit whole.
+  bool clipPolygons = true;
 };
 
 class View {
@@ -137,6 +148,22 @@ class View {
   [[nodiscard]] std::vector<std::pair<tech::Layer, const geom::Polygon*>> polygonsOwnedBy(
       std::size_t tx, std::size_t ty) const;
 
+  /// The window's polygon geometry under the clipping policy, in source
+  /// order: with `clipPolygons`, window-crossing polygons are replaced
+  /// by their window-clipped pieces (fully-inside polygons verbatim,
+  /// zero-area grazers dropped); without, whole bbox-touching polygons.
+  /// Built once on first use and cached (thread-safe); the returned
+  /// reference lives as long as the View.
+  [[nodiscard]] const std::vector<std::pair<tech::Layer, geom::Polygon>>& windowPolygons()
+      const;
+
+  /// `windowPolygons()` restricted to the pieces OWNED by tile (tx, ty)
+  /// — the tile containing the piece bbox's window-clamped lower-left
+  /// corner, exactly the rect owner rule — so a tiled writer emits each
+  /// piece exactly once. Pointers reference the `windowPolygons` cache.
+  [[nodiscard]] std::vector<std::pair<tech::Layer, const geom::Polygon*>>
+  windowPolygonsOwnedBy(std::size_t tx, std::size_t ty) const;
+
  private:
   /// Tile column/row owning window-clamped coordinate `v` along an axis
   /// starting at `lo` with `count` tiles of pitch `pitch`.
@@ -162,6 +189,10 @@ class View {
   geom::Rect window_;
   geom::Coord pitchX_ = 1, pitchY_ = 1;
   std::size_t tilesX_ = 1, tilesY_ = 1;
+  /// Lazily-built window polygon pieces (see `windowPolygons`). Guarded
+  /// by `piecesOnce_` so concurrent emitters sharing one View are safe.
+  mutable std::once_flag piecesOnce_;
+  mutable std::vector<std::pair<tech::Layer, geom::Polygon>> pieces_;
 };
 
 }  // namespace bb::layout

@@ -33,7 +33,7 @@ namespace {
 
 /// The registry-level window/tile/merge knobs as View parameters.
 layout::ViewOptions toViewOptions(const EmitterOptions& o) {
-  return layout::ViewOptions{o.window, o.tileSize, o.mergeTiles};
+  return layout::ViewOptions{o.window, o.tileSize, o.mergeTiles, o.clipPolygons};
 }
 
 /// Declarative backend: name/extension/flags plus an emit function, so

@@ -36,6 +36,9 @@ struct EmitterOptions {
   geom::Coord tileSize = 0;
   /// Merge each tile's rects into disjoint maximal pieces.
   bool mergeTiles = false;
+  /// Clip window-crossing polygons to the window (`geom::poly`); off
+  /// keeps the pre-clip reference behavior (bbox filter, emit whole).
+  bool clipPolygons = true;
   /// Route geometry through the chip's hierarchical index instead of the
   /// full flatten. Full-chip cif/gds become `writeCifHier`/`writeGdsHier`
   /// (symbol calls / SREF+AREF, never a flattened copy); windowed cif/gds

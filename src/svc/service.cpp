@@ -383,6 +383,7 @@ EmitResponse CompileService::viewport(const ViewportRequest& req) {
   eopts.window = req.window;
   eopts.tileSize = req.tileSize;
   eopts.mergeTiles = req.mergeTiles;
+  eopts.clipPolygons = req.clipPolygons;
   eopts.hierarchical = req.hierarchical;
   return emitImpl(req.chip, req.format, eopts);
 }

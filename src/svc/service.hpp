@@ -138,6 +138,9 @@ struct ViewportRequest {
   std::optional<geom::Rect> window;  ///< unset = whole artwork
   geom::Coord tileSize = 0;
   bool mergeTiles = false;
+  /// Clip window-crossing polygons to the window (`geom::poly`); off
+  /// streams whole bbox-touching polygons (the pre-clip behavior).
+  bool clipPolygons = true;
   /// Serve the window from the chip's hierarchical index
   /// (`CompiledChip::hierTop`) instead of the full flatten: only the
   /// instances whose bboxes touch the window are resolved (asserted via

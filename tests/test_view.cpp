@@ -413,17 +413,33 @@ TEST(PolygonWindow, ImportedPolygonIsNeverSilentlyDropped) {
   const FlatLayout flat = cell::flatten(*res.top);
   ASSERT_EQ(flat.polygons.size(), 1u);
 
-  // A window that clips the polygon (covers only its corner) must still
-  // emit it whole, in every windowed format.
+  // A window that clips the polygon (covers only its corner): the
+  // default clipPolygons policy emits the window-clipped piece — still
+  // never silently dropped, but no longer the whole ring.
   ViewOptions w;
   w.window = Rect{60, 60, 120, 120};
   const View v{flat, w};
   ASSERT_EQ(v.polygons().size(), 1u);
+  ASSERT_EQ(v.windowPolygons().size(), 1u);
+  // Every clipped vertex lies inside the window.
+  for (const auto& [pl, piece] : v.windowPolygons()) {
+    (void)pl;
+    for (geom::Point q : piece.pts) EXPECT_TRUE(w.window->contains(q));
+  }
 
   const std::string cif = layout::writeCif(flat, w);
-  EXPECT_NE(cif.find("P 0 0 80 0 80 80;"), std::string::npos);
+  EXPECT_NE(cif.find("P "), std::string::npos);            // a piece is emitted
+  EXPECT_EQ(cif.find("P 0 0 80 0 80 80;"), std::string::npos);  // ...clipped
   // The off-window box (bbox around x=200) is not emitted...
   EXPECT_EQ(cif.find("B 8 8 200 4;"), std::string::npos);
+
+  // clipPolygons=false is the pre-clip reference: the polygon whole,
+  // byte-identical to the old walk.
+  ViewOptions wRef = w;
+  wRef.clipPolygons = false;
+  const std::string cifRef = layout::writeCif(flat, wRef);
+  EXPECT_NE(cifRef.find("P 0 0 80 0 80 80;"), std::string::npos);
+  EXPECT_EQ(cifRef.find("B 8 8 200 4;"), std::string::npos);
 
   layout::SvgOptions so;
   so.view = w;
@@ -432,13 +448,17 @@ TEST(PolygonWindow, ImportedPolygonIsNeverSilentlyDropped) {
   const auto gds = layout::writeGds(flat, w);
   const layout::GdsStats st = layout::gdsStats(gds);
   EXPECT_TRUE(st.wellFormed);
-  EXPECT_EQ(st.boundaries, 1u);  // the polygon, not the far-away box
+  EXPECT_EQ(st.boundaries, 1u);  // the clipped piece, not the far-away box
+  const layout::GdsStats stRef = layout::gdsStats(layout::writeGds(flat, wRef));
+  EXPECT_TRUE(stRef.wellFormed);
+  EXPECT_EQ(stRef.boundaries, 1u);  // the whole polygon in reference mode
 
-  // A window fully away from the polygon excludes it.
+  // A window fully away from the polygon excludes it in both modes.
   ViewOptions far;
   far.window = Rect{196, 0, 204, 8};
   EXPECT_EQ(layout::writeCif(flat, far).find("P 0 0"), std::string::npos);
   EXPECT_EQ(View(flat, far).polygons().size(), 0u);
+  EXPECT_EQ(View(flat, far).windowPolygons().size(), 0u);
 }
 
 TEST(PolygonWindow, TiledEmissionEmitsSpanningPolygonExactlyOnce) {
